@@ -1,0 +1,80 @@
+// Command benchrunner regenerates the paper's evaluation: every table
+// and figure, printed as aligned text reports.
+//
+// Usage:
+//
+//	benchrunner                 # run everything (Table II without the
+//	                            # N=20000/50000 instances)
+//	benchrunner -exp fig3       # run one experiment
+//	benchrunner -exp table2 -full
+//	benchrunner -seed 7         # change the workload seed
+//	benchrunner -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tierdb/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id to run (empty = all)")
+		seed = flag.Int64("seed", 42, "workload generation seed")
+		full = flag.Bool("full", false, "include the largest Table II instances (N=20000, 50000)")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	runners := map[string]func() (*experiments.Report, error){
+		"table1": func() (*experiments.Report, error) { return experiments.Table1(*seed) },
+		"fig3":   func() (*experiments.Report, error) { return experiments.Fig3(*seed) },
+		"fig4":   func() (*experiments.Report, error) { return experiments.Fig4(*seed) },
+		"fig5":   func() (*experiments.Report, error) { return experiments.Fig5(*seed) },
+		"fig6":   func() (*experiments.Report, error) { return experiments.Fig6(*seed) },
+		"table2": func() (*experiments.Report, error) { return experiments.Table2(*full) },
+		"table3": func() (*experiments.Report, error) { return experiments.Table3(*seed) },
+		"fig7":   func() (*experiments.Report, error) { return experiments.Fig7(*seed) },
+		"fig8":   func() (*experiments.Report, error) { return experiments.Fig8(*seed) },
+		"fig9a":  func() (*experiments.Report, error) { return experiments.Fig9a(*seed) },
+		"fig9b":  func() (*experiments.Report, error) { return experiments.Fig9b(*seed) },
+		"table4": func() (*experiments.Report, error) { return experiments.Table4(*seed) },
+	}
+	order := make([]string, 0, len(runners))
+	for id := range runners {
+		order = append(order, id)
+	}
+	sort.Strings(order)
+
+	if *list {
+		for _, id := range order {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := order
+	if *exp != "" {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	failed := false
+	for _, id := range ids {
+		report, err := runners[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(report)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

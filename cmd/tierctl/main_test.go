@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleWorkload = `{
+  "columns": [
+    {"name": "BELNR", "size": 67108864, "selectivity": 1e-6},
+    {"name": "BUKRS", "size": 1048576, "selectivity": 0.125, "pinned": true},
+    {"name": "PAYLOAD", "size": 134217728, "selectivity": 0.5}
+  ],
+  "queries": [
+    {"columns": ["BELNR", "BUKRS"], "frequency": 1200},
+    {"columns": [0], "frequency": 400}
+  ]
+}`
+
+func writeSample(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadWorkload(t *testing.T) {
+	w, err := loadWorkload(writeSample(t, sampleWorkload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Columns) != 3 || len(w.Queries) != 2 {
+		t.Fatalf("shape: %d cols, %d queries", len(w.Columns), len(w.Queries))
+	}
+	if !w.Columns[1].Pinned {
+		t.Error("pinned flag lost")
+	}
+	// Name and index references both resolve.
+	if w.Queries[0].Columns[0] != 0 || w.Queries[0].Columns[1] != 1 {
+		t.Errorf("query 0 columns = %v", w.Queries[0].Columns)
+	}
+	if w.Queries[1].Columns[0] != 0 {
+		t.Errorf("query 1 columns = %v", w.Queries[1].Columns)
+	}
+	if w.Queries[0].Frequency != 1200 {
+		t.Errorf("frequency = %g", w.Queries[0].Frequency)
+	}
+}
+
+func TestLoadWorkloadErrors(t *testing.T) {
+	if _, err := loadWorkload(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := loadWorkload(writeSample(t, "{not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := loadWorkload(writeSample(t, `{
+		"columns": [{"name": "a", "size": 10, "selectivity": 0.5}],
+		"queries": [{"columns": ["nope"], "frequency": 1}]
+	}`)); err == nil {
+		t.Error("unknown column name accepted")
+	}
+	if _, err := loadWorkload(writeSample(t, `{
+		"columns": [{"name": "a", "size": 10, "selectivity": 0.5}],
+		"queries": [{"columns": [true], "frequency": 1}]
+	}`)); err == nil {
+		t.Error("non-name non-index column ref accepted")
+	}
+	if _, err := loadWorkload(writeSample(t, `{
+		"columns": [{"name": "a", "size": -5, "selectivity": 0.5}],
+		"queries": []
+	}`)); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}

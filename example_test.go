@@ -1,0 +1,69 @@
+package tierdb_test
+
+import (
+	"fmt"
+	"log"
+
+	"tierdb"
+)
+
+// Example demonstrates the full tiering loop: load a table, run a
+// workload, ask the optimizer for a placement under a DRAM budget, and
+// apply it — query results are unchanged while cold columns move to
+// secondary storage.
+func Example() {
+	db, err := tierdb.Open(tierdb.Config{Device: "3D XPoint"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	tbl, err := db.CreateTable("events", []tierdb.Field{
+		{Name: "id", Type: tierdb.Int64Type},
+		{Name: "kind", Type: tierdb.Int64Type},
+		{Name: "payload", Type: tierdb.StringType, Width: 64},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := make([][]tierdb.Value, 1000)
+	for i := range rows {
+		rows[i] = []tierdb.Value{
+			tierdb.Int(int64(i)),
+			tierdb.Int(int64(i % 4)),
+			tierdb.String("payload data that is never filtered"),
+		}
+	}
+	if err := tbl.BulkLoad(rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// The workload only ever filters on "kind".
+	byKind, _ := tbl.Eq("kind", tierdb.Int(2))
+	for i := 0; i < 10; i++ {
+		if _, err := tbl.Select(nil, []tierdb.Predicate{byKind}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	layout, err := tbl.RecommendLayout(tierdb.PlacementOptions{
+		RelativeBudget: 0.2,
+		Method:         tierdb.MethodILP,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.ApplyLayout(layout); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := tbl.Select(nil, []tierdb.Predicate{byKind})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kind=2 rows: %d\n", len(res.IDs))
+	fmt.Printf("kind in DRAM: %v, payload in DRAM: %v\n", layout.InDRAM[1], layout.InDRAM[2])
+	// Output:
+	// kind=2 rows: 250
+	// kind in DRAM: true, payload in DRAM: false
+}

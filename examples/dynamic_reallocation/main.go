@@ -1,0 +1,139 @@
+// Dynamic workloads and reallocation costs (paper Section III-D): the
+// workload shifts over time, and the optimizer must decide whether the
+// performance gain of a new placement justifies the cost of moving
+// columns between tiers. With beta = 0 every shift triggers churn; with
+// a realistic beta, small shifts keep the current placement and only a
+// sustained change reorganizes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tierdb"
+)
+
+const (
+	attrs = 40
+	rows  = 30_000
+)
+
+func main() {
+	db, err := tierdb.Open(tierdb.Config{Device: "CSSD", CacheFrames: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	fields := make([]tierdb.Field, attrs)
+	for i := range fields {
+		fields[i] = tierdb.Field{Name: fmt.Sprintf("C%02d", i), Type: tierdb.Int64Type}
+	}
+	tbl, err := db.CreateTable("metrics", fields)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	data := make([][]tierdb.Value, rows)
+	for r := range data {
+		row := make([]tierdb.Value, attrs)
+		for c := range row {
+			row[c] = tierdb.Int(int64(rng.Intn(500)))
+		}
+		data[r] = row
+	}
+	if err := tbl.BulkLoad(data); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: the workload filters columns 0-9.
+	runPhase := func(hotLo, hotHi, queries int) {
+		for i := 0; i < queries; i++ {
+			c := hotLo + rng.Intn(hotHi-hotLo)
+			p, _ := tbl.Eq(fields[c].Name, tierdb.Int(int64(rng.Intn(500))))
+			if _, err := tbl.Select(nil, []tierdb.Predicate{p}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	countMoves := func(a, b []bool) int {
+		n := 0
+		for i := range a {
+			if a[i] != b[i] {
+				n++
+			}
+		}
+		return n
+	}
+
+	fmt.Println("phase 1: columns C00-C09 are hot")
+	runPhase(0, 10, 300)
+	l1, err := tbl.RecommendLayout(tierdb.PlacementOptions{RelativeBudget: 0.3, Method: tierdb.MethodILP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.ApplyLayout(l1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  placed %d columns in DRAM (%.1f MB)\n\n", count(l1.InDRAM), mb(l1.Memory))
+
+	// Phase 2: a small, transient shift — a handful of queries now
+	// touch C10-C14. Reallocation costs (beta) keep the placement
+	// stable; without them the optimizer would churn.
+	fmt.Println("phase 2: transient queries on C10-C14 (20 executions)")
+	tbl.PlanCache().Reset() // moving window: only recent history counts
+	runPhase(0, 10, 280)
+	runPhase(10, 15, 20)
+
+	noBeta, err := tbl.RecommendLayout(tierdb.PlacementOptions{
+		RelativeBudget: 0.3, Method: tierdb.MethodILP,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	withBeta, err := tbl.RecommendLayout(tierdb.PlacementOptions{
+		RelativeBudget: 0.3, Method: tierdb.MethodILP,
+		Beta: 2e-8, // per-byte move cost ~ tens of ms per GB of nightly window
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur := tbl.Layout()
+	fmt.Printf("  beta=0:   would move %d columns\n", countMoves(cur, noBeta.InDRAM))
+	fmt.Printf("  beta>0:   moves %d columns (reallocation not worth its cost)\n\n",
+		countMoves(cur, withBeta.InDRAM))
+
+	// Phase 3: the shift becomes permanent — C10-C19 dominate. Now
+	// even with beta the model reorganizes.
+	fmt.Println("phase 3: sustained shift, C10-C19 dominate (400 executions)")
+	tbl.PlanCache().Reset()
+	runPhase(10, 20, 400)
+	runPhase(0, 10, 20)
+	sustained, err := tbl.RecommendLayout(tierdb.PlacementOptions{
+		RelativeBudget: 0.3, Method: tierdb.MethodILP,
+		Beta: 2e-8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	moves := countMoves(cur, sustained.InDRAM)
+	fmt.Printf("  beta>0:   moves %d columns — the gain now outweighs the cost\n", moves)
+	if err := tbl.ApplyLayout(sustained); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  applied; DRAM %.1f MB, secondary %.1f MB\n",
+		mb(tbl.MemoryBytes()), mb(tbl.SecondaryBytes()))
+}
+
+func count(x []bool) int {
+	n := 0
+	for _, b := range x {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

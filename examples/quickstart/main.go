@@ -1,0 +1,96 @@
+// Quickstart: create a tiered table, run a workload, let the optimizer
+// decide which columns stay in DRAM, and evict the rest to a modeled
+// 3D XPoint device — without changing query results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tierdb"
+)
+
+func main() {
+	db, err := tierdb.Open(tierdb.Config{Device: "3D XPoint", CacheFrames: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	orders, err := db.CreateTable("orders", []tierdb.Field{
+		{Name: "order_id", Type: tierdb.Int64Type},
+		{Name: "customer_id", Type: tierdb.Int64Type},
+		{Name: "status", Type: tierdb.Int64Type},
+		{Name: "amount", Type: tierdb.Float64Type},
+		{Name: "comment", Type: tierdb.StringType, Width: 48},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bulk load 50k orders.
+	rows := make([][]tierdb.Value, 50_000)
+	for i := range rows {
+		rows[i] = []tierdb.Value{
+			tierdb.Int(int64(i)),
+			tierdb.Int(int64(i % 5000)),
+			tierdb.Int(int64(i % 7)),
+			tierdb.Float(float64(i%100000) / 100),
+			tierdb.String(fmt.Sprintf("order comment %d", i)),
+		}
+	}
+	if err := orders.BulkLoad(rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d rows, DRAM footprint %.1f MB\n",
+		orders.Rows(), float64(orders.MemoryBytes())/(1<<20))
+
+	// Run the application workload: lookups by customer, status scans.
+	// Each Select feeds the plan cache the optimizer analyzes.
+	byCustomer, _ := orders.Eq("customer_id", tierdb.Int(42))
+	byStatus, _ := orders.Eq("status", tierdb.Int(3))
+	for i := 0; i < 200; i++ {
+		if _, err := orders.Select(nil, []tierdb.Predicate{byCustomer}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := orders.Select(nil, []tierdb.Predicate{byStatus, byCustomer}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Ask the optimizer for a placement using 30% of the current
+	// footprint; the ILP gives the Pareto-optimal answer.
+	layout, err := orders.RecommendLayout(tierdb.PlacementOptions{
+		RelativeBudget: 0.3,
+		Method:         tierdb.MethodILP,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recommended placement: %d bytes in DRAM, modeled relative performance %.3f\n",
+		layout.Memory, layout.RelativePerformance)
+	for i, f := range orders.Columns() {
+		tier := "-> SSCG (secondary storage)"
+		if layout.InDRAM[i] {
+			tier = "-> MRC  (DRAM)"
+		}
+		fmt.Printf("  %-12s %s\n", f.Name, tier)
+	}
+
+	// Apply it (a merge pass) and verify queries still work.
+	if err := orders.ApplyLayout(layout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after eviction: DRAM %.1f MB, secondary storage %.1f MB\n",
+		float64(orders.MemoryBytes())/(1<<20), float64(orders.SecondaryBytes())/(1<<20))
+
+	res, err := orders.Select(nil, []tierdb.Predicate{byCustomer}, "order_id", "amount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("customer 42 still has %d orders; first: id=%v amount=%v\n",
+		len(res.IDs), res.Rows[0][0], res.Rows[0][1])
+	fmt.Printf("modeled device+DRAM time spent so far: %v\n", db.Clock().Elapsed())
+}

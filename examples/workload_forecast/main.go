@@ -1,0 +1,109 @@
+// Workload forecasting (paper Section VI, future work): instead of
+// optimizing for the historical workload, tierdb tracks plan
+// frequencies over moving windows, extrapolates each plan's trend with
+// Holt double exponential smoothing, and places columns for the
+// *anticipated* workload. A month-end-closing style scenario: reporting
+// queries on the amount columns ramp up over the last days of the
+// month, and the forecast promotes those columns to DRAM *before* the
+// peak instead of after it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tierdb"
+)
+
+func main() {
+	db, err := tierdb.Open(tierdb.Config{Device: "3D XPoint", CacheFrames: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	tbl, err := db.CreateTable("ledger", []tierdb.Field{
+		{Name: "doc_id", Type: tierdb.Int64Type},
+		{Name: "account", Type: tierdb.Int64Type},
+		{Name: "period", Type: tierdb.Int64Type},
+		{Name: "amount", Type: tierdb.Int64Type},
+		{Name: "cost_center", Type: tierdb.Int64Type},
+		{Name: "text", Type: tierdb.StringType, Width: 40},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	rows := make([][]tierdb.Value, 40_000)
+	for i := range rows {
+		rows[i] = []tierdb.Value{
+			tierdb.Int(int64(i)),
+			tierdb.Int(int64(rng.Intn(2000))),
+			tierdb.Int(int64(202401 + rng.Intn(12))),
+			tierdb.Int(int64(rng.Intn(100000))),
+			tierdb.Int(int64(rng.Intn(300))),
+			tierdb.String(fmt.Sprintf("posting %d", i)),
+		}
+	}
+	if err := tbl.BulkLoad(rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// Daily windows: OLTP lookups stay constant; closing-report queries
+	// (period + cost_center + amount range) ramp up 5 -> 60.
+	lookup := func() []tierdb.Predicate {
+		p1, _ := tbl.Eq("doc_id", tierdb.Int(int64(rng.Intn(40_000))))
+		return []tierdb.Predicate{p1}
+	}
+	closing := func() []tierdb.Predicate {
+		p1, _ := tbl.Eq("period", tierdb.Int(202412))
+		p2, _ := tbl.Eq("cost_center", tierdb.Int(int64(rng.Intn(300))))
+		p3, _ := tbl.Between("amount", tierdb.Int(50_000), tierdb.Int(100_000))
+		return []tierdb.Predicate{p1, p2, p3}
+	}
+	closingPerDay := []int{2, 10, 30, 70, 130}
+	for day, n := range closingPerDay {
+		for i := 0; i < 60; i++ {
+			if _, err := tbl.Select(nil, lookup()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if _, err := tbl.Select(nil, closing()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		tbl.CloseWorkloadWindow()
+		fmt.Printf("day %d closed: %d lookups, %d closing reports\n", day+1, 60, n)
+	}
+
+	budget := tierdb.PlacementOptions{RelativeBudget: 0.35, Method: tierdb.MethodILP}
+
+	// Historical placement: the cumulative plan cache still thinks the
+	// closing queries are a minority.
+	hist, err := tbl.RecommendLayout(budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Forecast placement: Holt sees the trend and provisions for the
+	// next day's peak.
+	pred, err := tbl.RecommendForecastLayout(budget,
+		tierdb.ForecastOptions{Method: tierdb.ForecastHolt, Alpha: 0.7, Beta: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncolumn placement (historical vs forecast):")
+	for i, f := range tbl.Columns() {
+		fmt.Printf("  %-12s historical: %-5v forecast: %v\n", f.Name, hist.InDRAM[i], pred.InDRAM[i])
+	}
+	fmt.Printf("\nhistorical layout modeled cost: %.4g\n", hist.EstimatedCost)
+	fmt.Printf("forecast   layout modeled cost: %.4g (for the anticipated workload)\n", pred.EstimatedCost)
+
+	if err := tbl.ApplyLayout(pred); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\napplied forecast layout: DRAM %.1f MB, secondary %.1f MB\n",
+		float64(tbl.MemoryBytes())/(1<<20), float64(tbl.SecondaryBytes())/(1<<20))
+}

@@ -1,0 +1,144 @@
+package tierdb
+
+import (
+	"fmt"
+
+	"tierdb/internal/core"
+	"tierdb/internal/forecast"
+	"tierdb/internal/persist"
+	"tierdb/internal/table"
+	"tierdb/internal/workload"
+)
+
+// ForecastOptions tunes workload prediction (paper Section VI: feed the
+// model with anticipated instead of historical query frequencies).
+type ForecastOptions = forecast.Options
+
+// Forecast methods.
+const (
+	// ForecastSES uses simple exponential smoothing.
+	ForecastSES = forecast.MethodSES
+	// ForecastHolt adds a linear trend (default).
+	ForecastHolt = forecast.MethodHolt
+	// ForecastLastWindow uses the newest window verbatim.
+	ForecastLastWindow = forecast.MethodLastWindow
+	// ForecastMean averages all windows.
+	ForecastMean = forecast.MethodMean
+)
+
+// CloseWorkloadWindow freezes the current workload window into the
+// table's history (moving-window tracking). Call it at fixed intervals
+// — e.g. daily — so RecommendForecastLayout can extrapolate per-plan
+// frequency trends.
+func (t *Table) CloseWorkloadWindow() {
+	t.history.CloseWindow()
+}
+
+// WorkloadWindows returns the number of closed workload windows.
+func (t *Table) WorkloadWindows() int { return t.history.Windows() }
+
+// RecommendForecastLayout predicts the next window's query frequencies
+// from the table's workload history and optimizes the placement for the
+// anticipated workload. At least one window must be closed.
+func (t *Table) RecommendForecastLayout(opts PlacementOptions, fopts ForecastOptions) (Layout, error) {
+	series := t.history.Series()
+	if t.history.Windows() == 0 || len(series) == 0 {
+		return Layout{}, fmt.Errorf("tierdb: no closed workload windows to forecast from")
+	}
+	pinnedIdx, err := t.resolve(opts.Pinned)
+	if err != nil {
+		return Layout{}, err
+	}
+	// Template: one query per distinct plan; frequencies filled by the
+	// forecast.
+	template := &core.Workload{Queries: make([]core.Query, len(series))}
+	fseries := make([]forecast.Series, len(series))
+	for i, s := range series {
+		template.Queries[i] = core.Query{Columns: s.Columns, Frequency: 1}
+		fseries[i] = forecast.Series(s.Counts)
+	}
+	s := t.inner.Schema()
+	template.Columns = make([]core.Column, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		template.Columns[i] = core.Column{
+			Name:        s.Field(i).Name,
+			Size:        t.inner.ColumnBytes(i),
+			Selectivity: t.inner.Selectivity(i),
+		}
+		if template.Columns[i].Size <= 0 {
+			template.Columns[i].Size = 1
+		}
+	}
+	for _, p := range pinnedIdx {
+		template.Columns[p].Pinned = true
+	}
+	predicted, err := forecast.PredictWorkload(template, fseries, fopts)
+	if err != nil {
+		return Layout{}, err
+	}
+	if opts.Beta > 0 && opts.Current == nil {
+		opts.Current = t.inner.Layout()
+	}
+	opts.Pinned = nil
+	return Solve(predicted, opts)
+}
+
+// Snapshot persists the table (schema, layout, index definitions, all
+// visible rows) to a file; restore with DB.RestoreTable.
+func (t *Table) Snapshot(path string) error {
+	return persist.SaveFile(path, t.inner)
+}
+
+// RestoreTable loads a table snapshot into this database, re-tiering it
+// onto the database's device and registering it under its saved name.
+func (db *DB) RestoreTable(path string) (*Table, error) {
+	inner, err := persist.LoadFile(path, table.Options{
+		Store:   db.store,
+		Cache:   db.cache,
+		Manager: db.mgr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[inner.Name()]; exists {
+		return nil, fmt.Errorf("tierdb: table %q already exists", inner.Name())
+	}
+	t := newTableHandle(db, inner)
+	db.tables[inner.Name()] = t
+	return t, nil
+}
+
+// CreateCompositeIndex builds a DRAM-resident multi-column index over
+// the named columns (order-preserving key encoding over a B+-tree).
+func (t *Table) CreateCompositeIndex(columns ...string) error {
+	cols, err := t.resolve(columns)
+	if err != nil {
+		return err
+	}
+	return t.inner.CreateCompositeIndex(cols)
+}
+
+// LookupComposite returns the rows whose column tuple equals key, via a
+// previously created composite index.
+func (t *Table) LookupComposite(columns []string, key []Value) ([]RowID, error) {
+	cols, err := t.resolve(columns)
+	if err != nil {
+		return nil, err
+	}
+	snapshot := t.db.mgr.LastCommit()
+	return t.inner.LookupComposite(cols, key, snapshot, 0)
+}
+
+// newTableHandle wraps an engine table in the public handle (shared by
+// CreateTable and RestoreTable).
+func newTableHandle(db *DB, inner *table.Table) *Table {
+	return &Table{
+		db:      db,
+		inner:   inner,
+		plans:   workload.NewPlanCache(),
+		history: workload.NewHistory(64),
+		exec:    newExecutor(db, inner),
+	}
+}

@@ -1,0 +1,135 @@
+package tierdb
+
+import (
+	"testing"
+)
+
+// buildTwoTables creates a hot table (frequently queried) and a cold
+// table (rarely queried) of similar size.
+func buildTwoTables(t *testing.T) (*DB, *Table, *Table) {
+	t.Helper()
+	db, err := Open(Config{Device: "3D XPoint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string) *Table {
+		tbl, err := db.CreateTable(name, []Field{
+			{Name: "k", Type: Int64Type},
+			{Name: "v", Type: Int64Type},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([][]Value, 2000)
+		for i := range rows {
+			rows[i] = []Value{Int(int64(i)), Int(int64(i % 50))}
+		}
+		if err := tbl.BulkLoad(rows); err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	hot, cold := mk("hot"), mk("cold")
+	pHot, _ := hot.Eq("k", Int(7))
+	for i := 0; i < 200; i++ {
+		if _, err := hot.Select(nil, []Predicate{pHot}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pCold, _ := cold.Eq("k", Int(7))
+	if _, err := cold.Select(nil, []Predicate{pCold}); err != nil {
+		t.Fatal(err)
+	}
+	return db, hot, cold
+}
+
+func TestGlobalLayoutFavorsHotTable(t *testing.T) {
+	db, hot, cold := buildTwoTables(t)
+	// Budget fits roughly one table's filtered column: the shared pool
+	// must flow to the hot table.
+	budget := hot.Inner().ColumnBytes(0) + 1024
+	g, err := db.RecommendGlobalLayout(PlacementOptions{Budget: budget, Method: MethodILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Memory > budget {
+		t.Errorf("global memory %d over budget %d", g.Memory, budget)
+	}
+	if !g.PerTable["hot"].InDRAM[0] {
+		t.Error("hot table's filtered column evicted despite shared budget")
+	}
+	if g.PerTable["cold"].InDRAM[0] {
+		t.Error("cold table's filtered column kept over the hot one")
+	}
+	if err := db.ApplyGlobalLayout(g); err != nil {
+		t.Fatal(err)
+	}
+	if hot.MemoryBytes() <= cold.MemoryBytes() {
+		t.Errorf("hot table should hold more DRAM: %d vs %d", hot.MemoryBytes(), cold.MemoryBytes())
+	}
+	// Queries still correct on both tables.
+	pHot, _ := hot.Eq("k", Int(7))
+	res, err := hot.Select(nil, []Predicate{pHot})
+	if err != nil || len(res.IDs) != 1 {
+		t.Errorf("hot select after global layout: %v, %v", res, err)
+	}
+	pCold, _ := cold.Eq("k", Int(7))
+	res, err = cold.Select(nil, []Predicate{pCold})
+	if err != nil || len(res.IDs) != 1 {
+		t.Errorf("cold select after global layout: %v, %v", res, err)
+	}
+}
+
+func TestGlobalLayoutValidation(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RecommendGlobalLayout(PlacementOptions{Budget: 100}); err == nil {
+		t.Error("empty database accepted")
+	}
+	db2, _, _ := buildTwoTables(t)
+	if _, err := db2.RecommendGlobalLayout(PlacementOptions{Budget: 100, Pinned: []string{"k"}}); err == nil {
+		t.Error("name-based pins accepted in global optimization")
+	}
+}
+
+func TestApplyGlobalLayoutUnknownTable(t *testing.T) {
+	db, _, _ := buildTwoTables(t)
+	bad := GlobalLayout{PerTable: map[string]Layout{"ghost": {InDRAM: []bool{true}}}}
+	if err := db.ApplyGlobalLayout(bad); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestGroupByThroughFacade(t *testing.T) {
+	_, tbl := openLoaded(t, 40)
+	ids := make([]RowID, 40)
+	for i := range ids {
+		ids[i] = RowID(i)
+	}
+	groups, err := tbl.GroupBySum("region", "amount", ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 8 {
+		t.Errorf("groups = %d, want 8", len(groups))
+	}
+	var total float64
+	for _, v := range groups {
+		total += v
+	}
+	want := 0.0
+	for i := 0; i < 40; i++ {
+		want += float64(i) / 2
+	}
+	if total != want {
+		t.Errorf("grouped total = %g, want %g", total, want)
+	}
+	if _, err := tbl.GroupBySum("missing", "amount", nil); err == nil {
+		t.Error("unknown group column accepted")
+	}
+	if _, err := tbl.GroupBySum("region", "missing", nil); err == nil {
+		t.Error("unknown aggregate column accepted")
+	}
+}

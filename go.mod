@@ -1,0 +1,3 @@
+module tierdb
+
+go 1.22

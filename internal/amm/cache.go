@@ -1,0 +1,237 @@
+// Package amm provides a fixed-capacity page cache with pinning,
+// substituting for EMC's Advanced Memory Manager (AMM) the paper uses
+// for data eviction and caching (Section II-C): a pre-allocated
+// fixed-size page cache in front of secondary storage. Eviction uses the
+// CLOCK second-chance policy; pinned frames are never evicted.
+package amm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tierdb/internal/storage"
+)
+
+// ErrNoEvictableFrame is returned when every frame is pinned and a miss
+// cannot be admitted.
+var ErrNoEvictableFrame = errors.New("amm: all frames pinned")
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate returns hits / (hits+misses), or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type frame struct {
+	id     storage.PageID
+	data   []byte
+	valid  bool
+	pins   int
+	refbit bool
+	dirty  bool
+}
+
+// Cache is a fixed-size page cache over a storage.Store. All methods
+// are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	backing storage.Store
+	frames  []frame
+	index   map[storage.PageID]int
+	hand    int
+	stats   Stats
+}
+
+// New creates a cache with the given number of page frames in front of
+// backing. Frames are pre-allocated, as with AMM's fixed-size caches.
+func New(frames int, backing storage.Store) (*Cache, error) {
+	if frames <= 0 {
+		return nil, fmt.Errorf("amm: frame count %d must be positive", frames)
+	}
+	c := &Cache{
+		backing: backing,
+		frames:  make([]frame, frames),
+		index:   make(map[storage.PageID]int, frames),
+	}
+	for i := range c.frames {
+		c.frames[i].data = make([]byte, storage.PageSize)
+	}
+	return c, nil
+}
+
+// Capacity returns the number of frames.
+func (c *Cache) Capacity() int { return len(c.frames) }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Get returns the cached page contents, faulting it in from backing
+// storage on a miss, and pins the frame. The returned slice aliases the
+// frame buffer and is valid until Release; callers must not write to it.
+// The boolean reports whether the access was a hit.
+func (c *Cache) Get(id storage.PageID) ([]byte, bool, error) {
+	c.mu.Lock()
+	if fi, ok := c.index[id]; ok {
+		f := &c.frames[fi]
+		f.pins++
+		f.refbit = true
+		c.stats.Hits++
+		c.mu.Unlock()
+		return f.data, true, nil
+	}
+	c.stats.Misses++
+	fi, err := c.evictLocked()
+	if err != nil {
+		c.mu.Unlock()
+		return nil, false, err
+	}
+	f := &c.frames[fi]
+	f.id = id
+	f.valid = true
+	f.pins = 1
+	f.refbit = true
+	c.index[id] = fi
+	// Hold the frame reservation but drop the cache lock during IO so
+	// hits on other pages proceed. The pin prevents eviction; a
+	// concurrent Get on the same id would find the index entry and
+	// wait — to keep the design simple we perform the read under a
+	// per-cache IO ordering by keeping the pin and completing before
+	// publishing data. For correctness with concurrent same-page
+	// readers, the read happens under the lock.
+	err = c.backing.ReadPage(id, f.data)
+	if err != nil {
+		f.valid = false
+		f.pins = 0
+		delete(c.index, id)
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("amm: fault page %d: %w", id, err)
+	}
+	c.mu.Unlock()
+	return f.data, false, nil
+}
+
+// Release unpins a page previously returned by Get.
+func (c *Cache) Release(id storage.PageID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fi, ok := c.index[id]; ok && c.frames[fi].pins > 0 {
+		c.frames[fi].pins--
+	}
+}
+
+// Pin marks a cached page as unevictable until Unpin; it faults the
+// page in if absent. Unlike Get/Release pairs, Pin is sticky across
+// accesses (the paper pins MVCC columns and indices in DRAM).
+func (c *Cache) Pin(id storage.PageID) error {
+	_, _, err := c.Get(id)
+	return err // keep the Get pin
+}
+
+// Unpin releases a sticky pin.
+func (c *Cache) Unpin(id storage.PageID) { c.Release(id) }
+
+// evictLocked finds a victim frame via CLOCK and returns its index. The
+// caller holds c.mu.
+func (c *Cache) evictLocked() (int, error) {
+	for sweep := 0; sweep < 2*len(c.frames); sweep++ {
+		f := &c.frames[c.hand]
+		idx := c.hand
+		c.hand = (c.hand + 1) % len(c.frames)
+		if !f.valid {
+			return idx, nil
+		}
+		if f.pins > 0 {
+			continue
+		}
+		if f.refbit {
+			f.refbit = false
+			continue
+		}
+		// Victim found.
+		if f.dirty {
+			if err := c.backing.WritePage(f.id, f.data); err != nil {
+				return 0, fmt.Errorf("amm: write back page %d: %w", f.id, err)
+			}
+			f.dirty = false
+		}
+		delete(c.index, f.id)
+		f.valid = false
+		c.stats.Evictions++
+		return idx, nil
+	}
+	return 0, ErrNoEvictableFrame
+}
+
+// Write updates a page through the cache (write-allocate) and marks the
+// frame dirty; the page reaches backing storage on eviction or Flush.
+func (c *Cache) Write(id storage.PageID, data []byte) error {
+	if len(data) != storage.PageSize {
+		return fmt.Errorf("amm: buffer is %d bytes, want %d", len(data), storage.PageSize)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fi, ok := c.index[id]
+	if !ok {
+		var err error
+		fi, err = c.evictLocked()
+		if err != nil {
+			return err
+		}
+		c.frames[fi].id = id
+		c.frames[fi].valid = true
+		c.frames[fi].pins = 0
+		c.index[id] = fi
+		c.stats.Misses++
+	}
+	f := &c.frames[fi]
+	copy(f.data, data)
+	f.refbit = true
+	f.dirty = true
+	return nil
+}
+
+// Flush writes all dirty frames back to the backing store.
+func (c *Cache) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.frames {
+		f := &c.frames[i]
+		if f.valid && f.dirty {
+			if err := c.backing.WritePage(f.id, f.data); err != nil {
+				return fmt.Errorf("amm: flush page %d: %w", f.id, err)
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Drop invalidates every unpinned frame without writing dirty data back;
+// test helper for fault-injection scenarios.
+func (c *Cache) Drop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.frames {
+		f := &c.frames[i]
+		if f.valid && f.pins == 0 {
+			delete(c.index, f.id)
+			f.valid = false
+			f.dirty = false
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package amm
+
+import (
+	"sync"
+	"testing"
+
+	"tierdb/internal/storage"
+)
+
+func newTestStore(t *testing.T, pages int) (storage.Store, []storage.PageID) {
+	t.Helper()
+	s := storage.NewMemStore()
+	ids := make([]storage.PageID, pages)
+	buf := make([]byte, storage.PageSize)
+	for i := range ids {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		buf[0] = byte(i)
+		if err := s.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, ids
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	s, ids := newTestStore(t, 4)
+	c, err := New(2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, hit, err := c.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first access was a hit")
+	}
+	if data[0] != 0 {
+		t.Errorf("page content = %d, want 0", data[0])
+	}
+	c.Release(ids[0])
+	_, hit, err = c.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second access missed")
+	}
+	c.Release(ids[0])
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", st.HitRate())
+	}
+}
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	s, ids := newTestStore(t, 4)
+	c, _ := New(2, s)
+	for _, id := range ids[:3] { // touch 0,1,2 through a 2-frame cache
+		if _, _, err := c.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		c.Release(id)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+	// Page 2 must be resident; page 0 must have been evicted.
+	_, hit, _ := c.Get(ids[2])
+	if !hit {
+		t.Error("most recent page not resident")
+	}
+	c.Release(ids[2])
+}
+
+func TestCachePinnedFramesNotEvicted(t *testing.T) {
+	s, ids := newTestStore(t, 4)
+	c, _ := New(2, s)
+	if err := c.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Stream the remaining pages through the other frame.
+	for i := 1; i < 4; i++ {
+		if _, _, err := c.Get(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+		c.Release(ids[i])
+	}
+	_, hit, _ := c.Get(ids[0])
+	if !hit {
+		t.Error("pinned page was evicted")
+	}
+	c.Release(ids[0])
+	c.Unpin(ids[0])
+}
+
+func TestCacheAllPinnedFails(t *testing.T) {
+	s, ids := newTestStore(t, 3)
+	c, _ := New(2, s)
+	if err := c.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Pin(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(ids[2]); err != ErrNoEvictableFrame {
+		t.Errorf("err = %v, want ErrNoEvictableFrame", err)
+	}
+}
+
+func TestCacheWriteBack(t *testing.T) {
+	s, ids := newTestStore(t, 2)
+	c, _ := New(1, s)
+	data := make([]byte, storage.PageSize)
+	data[0] = 42
+	if err := c.Write(ids[0], data); err != nil {
+		t.Fatal(err)
+	}
+	// Force eviction by touching another page.
+	if _, _, err := c.Get(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	c.Release(ids[1])
+	buf := make([]byte, storage.PageSize)
+	if err := s.ReadPage(ids[0], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Errorf("dirty page not written back: byte0 = %d", buf[0])
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	s, ids := newTestStore(t, 2)
+	c, _ := New(2, s)
+	data := make([]byte, storage.PageSize)
+	data[0] = 7
+	if err := c.Write(ids[1], data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, storage.PageSize)
+	if err := s.ReadPage(ids[1], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Errorf("flush did not persist: byte0 = %d", buf[0])
+	}
+}
+
+func TestCacheDrop(t *testing.T) {
+	s, ids := newTestStore(t, 2)
+	c, _ := New(2, s)
+	if _, _, err := c.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	c.Release(ids[0])
+	c.Drop()
+	_, hit, err := c.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("Drop left page resident")
+	}
+	c.Release(ids[0])
+}
+
+func TestCacheRejectsBadConfig(t *testing.T) {
+	if _, err := New(0, storage.NewMemStore()); err == nil {
+		t.Error("accepted zero frames")
+	}
+	c, _ := New(1, storage.NewMemStore())
+	if err := c.Write(0, make([]byte, 10)); err == nil {
+		t.Error("accepted short write buffer")
+	}
+}
+
+func TestCacheGetMissingPageFails(t *testing.T) {
+	s := storage.NewMemStore()
+	c, _ := New(2, s)
+	if _, _, err := c.Get(5); err == nil {
+		t.Error("Get of unallocated page succeeded")
+	}
+	// A failed fault must not leave a phantom index entry.
+	if _, _, err := c.Get(5); err == nil {
+		t.Error("second Get of unallocated page succeeded")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	s, ids := newTestStore(t, 32)
+	c, _ := New(8, s)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := ids[(g*7+i*13)%len(ids)]
+				data, _, err := c.Get(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if data[0] != byte(int(id)) {
+					t.Errorf("page %d content mismatch: %d", id, data[0])
+					c.Release(id)
+					return
+				}
+				c.Release(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*500 {
+		t.Errorf("accesses = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+	if c.Capacity() != 8 {
+		t.Errorf("Capacity = %d, want 8", c.Capacity())
+	}
+}

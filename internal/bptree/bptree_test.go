@@ -1,0 +1,180 @@
+package bptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tierdb/internal/value"
+)
+
+func TestInsertLookupSmall(t *testing.T) {
+	tr := New(value.Int64)
+	tr.Insert(value.NewInt(5), 50)
+	tr.Insert(value.NewInt(3), 30)
+	tr.Insert(value.NewInt(5), 51)
+	if got := tr.Lookup(value.NewInt(5)); len(got) != 2 || got[0] != 50 || got[1] != 51 {
+		t.Errorf("Lookup(5) = %v", got)
+	}
+	if got := tr.Lookup(value.NewInt(3)); len(got) != 1 || got[0] != 30 {
+		t.Errorf("Lookup(3) = %v", got)
+	}
+	if got := tr.Lookup(value.NewInt(9)); got != nil {
+		t.Errorf("Lookup(9) = %v, want nil", got)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Type() != value.Int64 {
+		t.Error("Type mismatch")
+	}
+}
+
+func TestInsertManySplits(t *testing.T) {
+	tr := New(value.Int64)
+	const n = 10000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Insert(value.NewInt(int64(k)), uint32(k))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for k := 0; k < n; k += 97 {
+		got := tr.Lookup(value.NewInt(int64(k)))
+		if len(got) != 1 || got[0] != uint32(k) {
+			t.Fatalf("Lookup(%d) = %v", k, got)
+		}
+	}
+}
+
+func TestRangeAscendingOrder(t *testing.T) {
+	tr := New(value.Int64)
+	keys := []int64{40, 10, 30, 20, 50, 15}
+	for i, k := range keys {
+		tr.Insert(value.NewInt(k), uint32(i))
+	}
+	var got []int64
+	tr.Range(value.NewInt(12), value.NewInt(40), func(k value.Value, pos []uint32) bool {
+		got = append(got, k.Int())
+		return true
+	})
+	want := []int64{15, 20, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := New(value.Int64)
+	for k := int64(0); k < 100; k++ {
+		tr.Insert(value.NewInt(k), uint32(k))
+	}
+	count := 0
+	tr.Range(value.NewInt(0), value.NewInt(99), func(value.Value, []uint32) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d keys, want 5", count)
+	}
+}
+
+func TestRangeCrossesLeaves(t *testing.T) {
+	tr := New(value.Int64)
+	const n = 5000
+	for k := int64(0); k < n; k++ {
+		tr.Insert(value.NewInt(k), uint32(k))
+	}
+	var got int
+	prev := int64(-1)
+	tr.Range(value.NewInt(0), value.NewInt(n-1), func(k value.Value, pos []uint32) bool {
+		if k.Int() <= prev {
+			t.Fatalf("keys out of order: %d after %d", k.Int(), prev)
+		}
+		prev = k.Int()
+		got++
+		return true
+	})
+	if got != n {
+		t.Errorf("Range visited %d keys, want %d", got, n)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New(value.String)
+	words := []string{"delta", "alpha", "charlie", "bravo"}
+	for i, w := range words {
+		tr.Insert(value.NewString(w), uint32(i))
+	}
+	if got := tr.Lookup(value.NewString("charlie")); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Lookup(charlie) = %v", got)
+	}
+	var order []string
+	tr.Range(value.NewString("a"), value.NewString("zzz"), func(k value.Value, _ []uint32) bool {
+		order = append(order, k.Str())
+		return true
+	})
+	if !sort.StringsAreSorted(order) || len(order) != 4 {
+		t.Errorf("Range order = %v", order)
+	}
+}
+
+// Property: after inserting random (key, pos) pairs, every key's
+// positions match a reference map and Range over the full key space
+// visits keys in sorted order.
+func TestTreeMatchesReferenceMap(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(value.Int64)
+		ref := make(map[int64][]uint32)
+		n := rng.Intn(2000) + 1
+		for i := 0; i < n; i++ {
+			k := int64(rng.Intn(300)) // force duplicates
+			tr.Insert(value.NewInt(k), uint32(i))
+			ref[k] = append(ref[k], uint32(i))
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			got := tr.Lookup(value.NewInt(k))
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(value.Int64)
+	if got := tr.Lookup(value.NewInt(1)); got != nil {
+		t.Errorf("Lookup on empty tree = %v", got)
+	}
+	called := false
+	tr.Range(value.NewInt(0), value.NewInt(10), func(value.Value, []uint32) bool {
+		called = true
+		return true
+	})
+	if called {
+		t.Error("Range on empty tree visited keys")
+	}
+	if tr.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+}

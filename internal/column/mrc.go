@@ -1,0 +1,135 @@
+// Package column implements Memory-Resident Columns (MRCs): singular,
+// fully DRAM-resident columns with order-preserving dictionary encoding
+// and bit-packed value vectors (paper Section II-A). All sequential
+// operations — filtering, joining, aggregating — run on MRCs; range
+// predicates translate to code ranges thanks to order preservation.
+package column
+
+import (
+	"fmt"
+
+	"tierdb/internal/dict"
+	"tierdb/internal/value"
+)
+
+// MRC is an immutable memory-resident column of a main partition.
+type MRC struct {
+	name  string
+	typ   value.Type
+	dict  *dict.Dictionary
+	codes *dict.BitPacked
+}
+
+// Build constructs an MRC from the column's values.
+func Build(name string, typ value.Type, values []value.Value) (*MRC, error) {
+	d, codes, err := dict.Build(typ, values)
+	if err != nil {
+		return nil, fmt.Errorf("column %q: %w", name, err)
+	}
+	maxCode := uint32(0)
+	if d.Size() > 0 {
+		maxCode = uint32(d.Size() - 1)
+	}
+	return &MRC{name: name, typ: typ, dict: d, codes: dict.Pack(codes, maxCode)}, nil
+}
+
+// Name returns the column name.
+func (c *MRC) Name() string { return c.name }
+
+// Type returns the value type.
+func (c *MRC) Type() value.Type { return c.typ }
+
+// Len returns the number of rows.
+func (c *MRC) Len() int { return c.codes.Len() }
+
+// DistinctCount returns the dictionary size.
+func (c *MRC) DistinctCount() int { return c.dict.Size() }
+
+// Selectivity returns the paper's attribute selectivity estimate 1/n
+// for n distinct values (Section II-B).
+func (c *MRC) Selectivity() float64 {
+	if c.dict.Size() == 0 {
+		return 1
+	}
+	return 1 / float64(c.dict.Size())
+}
+
+// Bytes returns the DRAM footprint: bit-packed vector plus dictionary.
+func (c *MRC) Bytes() int64 { return c.codes.Bytes() + c.dict.Bytes() }
+
+// Get materializes the value at row i (two dependent accesses: value
+// vector, then dictionary — the paper's "two L3 cache misses").
+func (c *MRC) Get(i int) (value.Value, error) {
+	if i < 0 || i >= c.codes.Len() {
+		return value.Value{}, fmt.Errorf("column %q: row %d out of range (%d rows)", c.name, i, c.codes.Len())
+	}
+	return c.dict.Decode(c.codes.Get(i))
+}
+
+// Code returns the dictionary code at row i without decoding (late
+// materialization).
+func (c *MRC) Code(i int) uint32 { return c.codes.Get(i) }
+
+// ScanEqual appends to out the positions equal to v, skipping rows for
+// which skip returns true (MVCC-invisible rows); skip may be nil.
+// Predicate evaluation happens on compressed codes.
+func (c *MRC) ScanEqual(v value.Value, out []uint32, skip func(int) bool) ([]uint32, error) {
+	if v.Type() != c.typ {
+		return nil, fmt.Errorf("column %q: predicate type %s, want %s", c.name, v.Type(), c.typ)
+	}
+	code, ok := c.dict.Encode(v)
+	if !ok {
+		return out, nil // value absent: empty result
+	}
+	return c.codes.ScanEqual(code, out, skip), nil
+}
+
+// ScanRange appends positions with lo <= value <= hi to out.
+func (c *MRC) ScanRange(lo, hi value.Value, out []uint32, skip func(int) bool) ([]uint32, error) {
+	if lo.Type() != c.typ || hi.Type() != c.typ {
+		return nil, fmt.Errorf("column %q: range predicate types %s/%s, want %s", c.name, lo.Type(), hi.Type(), c.typ)
+	}
+	loCode := c.dict.LowerBound(lo)
+	hiCode := c.dict.UpperBound(hi)
+	if loCode >= hiCode {
+		return out, nil
+	}
+	return c.codes.ScanRange(loCode, hiCode, out, skip), nil
+}
+
+// ProbeEqual reports for each position in candidates whether the value
+// at the position equals v, appending matches to out (the scan→probe
+// switch of the paper's executor uses this on DRAM-resident columns).
+func (c *MRC) ProbeEqual(v value.Value, candidates []uint32, out []uint32) ([]uint32, error) {
+	if v.Type() != c.typ {
+		return nil, fmt.Errorf("column %q: predicate type %s, want %s", c.name, v.Type(), c.typ)
+	}
+	code, ok := c.dict.Encode(v)
+	if !ok {
+		return out, nil
+	}
+	for _, pos := range candidates {
+		if c.codes.Get(int(pos)) == code {
+			out = append(out, pos)
+		}
+	}
+	return out, nil
+}
+
+// ProbeRange appends candidate positions whose value lies in [lo, hi].
+func (c *MRC) ProbeRange(lo, hi value.Value, candidates []uint32, out []uint32) ([]uint32, error) {
+	if lo.Type() != c.typ || hi.Type() != c.typ {
+		return nil, fmt.Errorf("column %q: range predicate types %s/%s, want %s", c.name, lo.Type(), hi.Type(), c.typ)
+	}
+	loCode := c.dict.LowerBound(lo)
+	hiCode := c.dict.UpperBound(hi)
+	for _, pos := range candidates {
+		if code := c.codes.Get(int(pos)); code >= loCode && code < hiCode {
+			out = append(out, pos)
+		}
+	}
+	return out, nil
+}
+
+// Dictionary exposes the underlying dictionary (read-only use).
+func (c *MRC) Dictionary() *dict.Dictionary { return c.dict }

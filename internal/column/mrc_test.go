@@ -1,0 +1,200 @@
+package column
+
+import (
+	"math/rand"
+	"testing"
+
+	"tierdb/internal/value"
+)
+
+func intColumn(t *testing.T, vals ...int64) *MRC {
+	t.Helper()
+	vv := make([]value.Value, len(vals))
+	for i, v := range vals {
+		vv[i] = value.NewInt(v)
+	}
+	c, err := Build("test", value.Int64, vv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildAndGet(t *testing.T) {
+	c := intColumn(t, 5, 3, 5, 9, 3)
+	if c.Len() != 5 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.DistinctCount() != 3 {
+		t.Errorf("DistinctCount = %d", c.DistinctCount())
+	}
+	want := []int64{5, 3, 5, 9, 3}
+	for i, w := range want {
+		v, err := c.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Int() != w {
+			t.Errorf("Get(%d) = %d, want %d", i, v.Int(), w)
+		}
+	}
+	if _, err := c.Get(99); err == nil {
+		t.Error("out-of-range Get accepted")
+	}
+	if c.Name() != "test" || c.Type() != value.Int64 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	c := intColumn(t, 1, 2, 3, 4)
+	if got := c.Selectivity(); got != 0.25 {
+		t.Errorf("Selectivity = %g, want 0.25", got)
+	}
+}
+
+func TestScanEqual(t *testing.T) {
+	c := intColumn(t, 5, 3, 5, 9, 3)
+	got, err := c.ScanEqual(value.NewInt(5), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("ScanEqual(5) = %v", got)
+	}
+	// Absent value: empty result, no error.
+	got, err = c.ScanEqual(value.NewInt(77), nil, nil)
+	if err != nil || len(got) != 0 {
+		t.Errorf("ScanEqual(77) = %v, %v", got, err)
+	}
+	// Type mismatch errors.
+	if _, err := c.ScanEqual(value.NewString("x"), nil, nil); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	// Skip masks rows.
+	got, _ = c.ScanEqual(value.NewInt(5), nil, func(i int) bool { return i == 0 })
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("ScanEqual with skip = %v", got)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	c := intColumn(t, 10, 25, 40, 25, 5)
+	got, err := c.ScanRange(value.NewInt(10), value.NewInt(30), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint32]bool{0: true, 1: true, 3: true}
+	if len(got) != 3 {
+		t.Fatalf("ScanRange = %v", got)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Errorf("unexpected position %d", p)
+		}
+	}
+	// Empty range.
+	got, err = c.ScanRange(value.NewInt(41), value.NewInt(50), nil, nil)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty range = %v, %v", got, err)
+	}
+	if _, err := c.ScanRange(value.NewString("a"), value.NewString("b"), nil, nil); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestProbe(t *testing.T) {
+	c := intColumn(t, 5, 3, 5, 9, 3)
+	got, err := c.ProbeEqual(value.NewInt(5), []uint32{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("ProbeEqual = %v", got)
+	}
+	got, err = c.ProbeRange(value.NewInt(3), value.NewInt(5), []uint32{0, 3, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Errorf("ProbeRange = %v", got)
+	}
+	// Missing value probes to empty.
+	got, _ = c.ProbeEqual(value.NewInt(100), []uint32{0, 1}, nil)
+	if len(got) != 0 {
+		t.Errorf("ProbeEqual(missing) = %v", got)
+	}
+	if _, err := c.ProbeEqual(value.NewString("x"), nil, nil); err == nil {
+		t.Error("probe type mismatch accepted")
+	}
+	if _, err := c.ProbeRange(value.NewString("x"), value.NewString("y"), nil, nil); err == nil {
+		t.Error("probe range type mismatch accepted")
+	}
+}
+
+func TestScanMatchesProbeOnRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 5000
+	vals := make([]value.Value, n)
+	for i := range vals {
+		vals[i] = value.NewInt(int64(rng.Intn(100)))
+	}
+	c, err := Build("rand", value.Int64, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]uint32, n)
+	for i := range all {
+		all[i] = uint32(i)
+	}
+	for _, probe := range []int64{0, 17, 50, 99} {
+		s, err := c.ScanEqual(value.NewInt(probe), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := c.ProbeEqual(value.NewInt(probe), all, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s) != len(p) {
+			t.Fatalf("scan and probe disagree for %d: %d vs %d", probe, len(s), len(p))
+		}
+		for i := range s {
+			if s[i] != p[i] {
+				t.Fatalf("scan and probe positions disagree")
+			}
+		}
+	}
+}
+
+func TestCodeAndDictionary(t *testing.T) {
+	c := intColumn(t, 30, 10, 20)
+	// Order-preserving: code(10)=0 < code(20)=1 < code(30)=2.
+	if c.Code(1) != 0 || c.Code(2) != 1 || c.Code(0) != 2 {
+		t.Errorf("codes = %d %d %d", c.Code(0), c.Code(1), c.Code(2))
+	}
+	if c.Dictionary().Size() != 3 {
+		t.Error("Dictionary accessor broken")
+	}
+	if c.Bytes() <= 0 {
+		t.Error("Bytes not positive")
+	}
+}
+
+func TestBuildStringColumn(t *testing.T) {
+	vals := []value.Value{value.NewString("b"), value.NewString("a"), value.NewString("b")}
+	c, err := Build("s", value.String, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ScanRange(value.NewString("a"), value.NewString("a"), nil, nil)
+	if err != nil || len(got) != 1 || got[0] != 1 {
+		t.Errorf("string range scan = %v, %v", got, err)
+	}
+}
+
+func TestBuildTypeMismatch(t *testing.T) {
+	if _, err := Build("x", value.Int64, []value.Value{value.NewString("s")}); err == nil {
+		t.Error("mismatched build accepted")
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoColumnWorkload is a tiny hand-checkable instance: two columns, one
+// query filtering both.
+func twoColumnWorkload() *Workload {
+	return &Workload{
+		Columns: []Column{
+			{Name: "a", Size: 100, Selectivity: 0.1},
+			{Name: "b", Size: 200, Selectivity: 0.5},
+		},
+		Queries: []Query{
+			{Columns: []int{0, 1}, Frequency: 2},
+		},
+	}
+}
+
+func TestScanCostHandComputed(t *testing.T) {
+	w := twoColumnWorkload()
+	p := CostParams{CMM: 1, CSS: 10}
+
+	// Scan order: a (sel 0.1) before b (sel 0.5).
+	// Both in DRAM: 2 * (1*100*1 + 1*200*0.1) = 2 * 120 = 240.
+	both := []bool{true, true}
+	if got := ScanCost(w, p, both); math.Abs(got-240) > 1e-9 {
+		t.Errorf("ScanCost(both in DRAM) = %g, want 240", got)
+	}
+	// Only a in DRAM: 2 * (1*100 + 10*200*0.1) = 2 * 300 = 600.
+	onlyA := []bool{true, false}
+	if got := ScanCost(w, p, onlyA); math.Abs(got-600) > 1e-9 {
+		t.Errorf("ScanCost(only a) = %g, want 600", got)
+	}
+	// Only b in DRAM: 2 * (10*100 + 1*200*0.1) = 2 * 1020 = 2040.
+	onlyB := []bool{false, true}
+	if got := ScanCost(w, p, onlyB); math.Abs(got-2040) > 1e-9 {
+		t.Errorf("ScanCost(only b) = %g, want 2040", got)
+	}
+	// None: 2 * (10*100 + 10*200*0.1) = 2 * 1200 = 2400.
+	none := []bool{false, false}
+	if got := ScanCost(w, p, none); math.Abs(got-2400) > 1e-9 {
+		t.Errorf("ScanCost(none) = %g, want 2400", got)
+	}
+}
+
+func TestSelectionInteractionReducesLaterColumnWeight(t *testing.T) {
+	// A restrictive predecessor predicate scales a column's eviction
+	// penalty by the predecessor's selectivity — the core observation
+	// behind the paper's cost model that frequency-counting heuristics
+	// miss.
+	wide := Column{Name: "wide", Size: 1 << 30, Selectivity: 0.9}
+	restrictive := Column{Name: "restrictive", Size: 100, Selectivity: 1e-6}
+	behind := &Workload{
+		Columns: []Column{restrictive, wide},
+		Queries: []Query{{Columns: []int{0, 1}, Frequency: 1}},
+	}
+	alone := &Workload{
+		Columns: []Column{restrictive, wide},
+		Queries: []Query{{Columns: []int{1}, Frequency: 1}},
+	}
+	p := CostParams{CMM: 1, CSS: 100}
+	benefitBehind := Benefits(behind, p)[1]
+	benefitAlone := Benefits(alone, p)[1]
+	if benefitAlone <= 0 || benefitBehind <= 0 {
+		t.Fatalf("benefits not positive: behind=%g alone=%g", benefitBehind, benefitAlone)
+	}
+	// The interaction multiplies the benefit by s(restrictive) = 1e-6.
+	if ratio := benefitBehind / benefitAlone; math.Abs(ratio-1e-6) > 1e-12 {
+		t.Errorf("benefit ratio behind/alone = %g, want 1e-6", ratio)
+	}
+}
+
+func TestCoefficientsMatchFiniteDifference(t *testing.T) {
+	w, err := Example1(Example1Config{Columns: 20, Queries: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultCostParams()
+	coeff := Coefficients(w, p)
+	rng := rand.New(rand.NewSource(1))
+	// For random base allocations, flipping column i changes F by
+	// exactly a_i * S_i (linearity of the cost model).
+	for trial := 0; trial < 20; trial++ {
+		x := make([]bool, len(w.Columns))
+		for i := range x {
+			x[i] = rng.Intn(2) == 0
+		}
+		base := ScanCost(w, p, x)
+		for i := range w.Columns {
+			x[i] = !x[i]
+			flipped := ScanCost(w, p, x)
+			x[i] = !x[i]
+			var want float64
+			if x[i] {
+				want = base - float64(w.Columns[i].Size)*coeff[i] // leaving DRAM
+			} else {
+				want = base + float64(w.Columns[i].Size)*coeff[i]
+			}
+			if math.Abs(flipped-want) > 1e-9*math.Abs(base)+1e-15 {
+				t.Fatalf("flip column %d: cost %g, want %g", i, flipped, want)
+			}
+		}
+	}
+}
+
+func TestCoefficientsNonPositive(t *testing.T) {
+	w, err := Example1(Example1Config{Columns: 30, Queries: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range Coefficients(w, DefaultCostParams()) {
+		if s > 0 {
+			t.Errorf("S_%d = %g > 0 with c_mm < c_ss", i, s)
+		}
+	}
+}
+
+func TestBenefitsZeroForUnfilteredColumns(t *testing.T) {
+	w := &Workload{
+		Columns: []Column{
+			{Name: "used", Size: 10, Selectivity: 0.5},
+			{Name: "unused", Size: 10, Selectivity: 0.5},
+		},
+		Queries: []Query{{Columns: []int{0}, Frequency: 5}},
+	}
+	b := Benefits(w, DefaultCostParams())
+	if b[1] != 0 {
+		t.Errorf("benefit of unfiltered column = %g, want 0", b[1])
+	}
+	if b[0] <= 0 {
+		t.Errorf("benefit of filtered column = %g, want > 0", b[0])
+	}
+}
+
+func TestMemoryUsedAndTotalSize(t *testing.T) {
+	w := twoColumnWorkload()
+	if got := w.TotalSize(); got != 300 {
+		t.Errorf("TotalSize = %d, want 300", got)
+	}
+	if got := MemoryUsed(w, []bool{true, false}); got != 100 {
+		t.Errorf("MemoryUsed = %d, want 100", got)
+	}
+	if got := MemoryUsed(w, []bool{true, true}); got != 300 {
+		t.Errorf("MemoryUsed = %d, want 300", got)
+	}
+}
+
+func TestValidateRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		w    Workload
+	}{
+		{"empty", Workload{}},
+		{"zero size", Workload{Columns: []Column{{Size: 0, Selectivity: 0.5}}}},
+		{"negative size", Workload{Columns: []Column{{Size: -1, Selectivity: 0.5}}}},
+		{"zero selectivity", Workload{Columns: []Column{{Size: 1, Selectivity: 0}}}},
+		{"selectivity above one", Workload{Columns: []Column{{Size: 1, Selectivity: 1.5}}}},
+		{"column out of range", Workload{
+			Columns: []Column{{Size: 1, Selectivity: 0.5}},
+			Queries: []Query{{Columns: []int{1}, Frequency: 1}},
+		}},
+		{"negative column index", Workload{
+			Columns: []Column{{Size: 1, Selectivity: 0.5}},
+			Queries: []Query{{Columns: []int{-1}, Frequency: 1}},
+		}},
+		{"duplicate column in query", Workload{
+			Columns: []Column{{Size: 1, Selectivity: 0.5}},
+			Queries: []Query{{Columns: []int{0, 0}, Frequency: 1}},
+		}},
+		{"negative frequency", Workload{
+			Columns: []Column{{Size: 1, Selectivity: 0.5}},
+			Queries: []Query{{Columns: []int{0}, Frequency: -1}},
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.w.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid workload", tc.name)
+		}
+	}
+}
+
+func TestValidateAcceptsExample1(t *testing.T) {
+	w, err := Example1(Example1Config{Columns: 50, Queries: 500, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Errorf("Validate(Example1) = %v", err)
+	}
+	if len(w.Columns) != 50 || len(w.Queries) != 500 {
+		t.Errorf("Example1 shape = %d cols, %d queries; want 50, 500", len(w.Columns), len(w.Queries))
+	}
+}
+
+func TestRelativePerformanceBounds(t *testing.T) {
+	w, err := Example1(Example1Config{Columns: 25, Queries: 150, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultCostParams()
+	all := make([]bool, len(w.Columns))
+	for i := range all {
+		all[i] = true
+	}
+	full := makeAllocation(w, p, all)
+	if rp := RelativePerformance(w, p, full); math.Abs(rp-1) > 1e-12 {
+		t.Errorf("RelativePerformance(full DRAM) = %g, want 1", rp)
+	}
+	none := makeAllocation(w, p, make([]bool, len(w.Columns)))
+	if rp := RelativePerformance(w, p, none); rp >= 1 || rp <= 0 {
+		t.Errorf("RelativePerformance(nothing in DRAM) = %g, want in (0,1)", rp)
+	}
+}
+
+// Property: scan cost is monotone — adding a column to DRAM never makes
+// the workload slower (with CMM < CSS).
+func TestScanCostMonotoneProperty(t *testing.T) {
+	w, err := Example1(Example1Config{Columns: 15, Queries: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultCostParams()
+	prop := func(mask uint16, flip uint8) bool {
+		x := make([]bool, len(w.Columns))
+		for i := range x {
+			x[i] = mask&(1<<i) != 0
+		}
+		i := int(flip) % len(w.Columns)
+		if x[i] {
+			return true
+		}
+		before := ScanCost(w, p, x)
+		x[i] = true
+		after := ScanCost(w, p, x)
+		return after <= before+1e-15
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessCounts(t *testing.T) {
+	w := &Workload{
+		Columns: []Column{
+			{Size: 1, Selectivity: 0.5}, {Size: 1, Selectivity: 0.5}, {Size: 1, Selectivity: 0.5},
+		},
+		Queries: []Query{
+			{Columns: []int{0, 1}, Frequency: 3},
+			{Columns: []int{1}, Frequency: 4},
+		},
+	}
+	g := w.AccessCounts()
+	want := []float64{3, 7, 0}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Errorf("g[%d] = %g, want %g", i, g[i], want[i])
+		}
+	}
+}

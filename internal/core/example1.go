@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Example1Config parameterizes the paper's reproducible column selection
+// problem class (Example 1): N columns, Q queries, randomized sizes,
+// selectivities and frequencies with the structural properties the paper
+// describes — popular columns tend to have lower selectivity
+// (negatively correlated g_i and s_i), and clusters of columns co-occur
+// in queries so that selection interaction matters.
+type Example1Config struct {
+	// Columns is N; Queries is Q.
+	Columns int
+	Queries int
+	// Seed makes the instance reproducible.
+	Seed int64
+	// MeanColumnsPerQuery is the average size of q_j (default 4).
+	MeanColumnsPerQuery float64
+	// CoOccurrence in [0,1] controls how strongly queries draw their
+	// columns from a shared popular cluster instead of uniformly; 0
+	// removes selection interaction structure (default 0.6).
+	CoOccurrence float64
+	// Correlation in [0,1] controls how strongly selectivity decreases
+	// with popularity (default 0.3, the paper's "slightly negatively
+	// correlated").
+	Correlation float64
+}
+
+func (c *Example1Config) setDefaults() {
+	if c.MeanColumnsPerQuery == 0 {
+		c.MeanColumnsPerQuery = 4
+	}
+	if c.CoOccurrence == 0 {
+		c.CoOccurrence = 0.6
+	}
+	if c.Correlation == 0 {
+		c.Correlation = 0.3
+	}
+}
+
+// Example1 generates a reproducible random instance of the paper's
+// Example 1 (N=50, Q=500 in Figure 4; scaled up for Table II).
+func Example1(cfg Example1Config) (*Workload, error) {
+	cfg.setDefaults()
+	if cfg.Columns <= 0 || cfg.Queries <= 0 {
+		return nil, fmt.Errorf("core: Example1 needs positive column (%d) and query (%d) counts", cfg.Columns, cfg.Queries)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Column popularity follows a Zipf-like ranking: column 0 is the
+	// most popular. Popularity drives both co-occurrence sampling and
+	// (inversely, with noise) selectivity.
+	n := cfg.Columns
+	popularity := make([]float64, n)
+	var popSum float64
+	for i := range popularity {
+		popularity[i] = 1 / math.Pow(float64(i+1), 0.8)
+		popSum += popularity[i]
+	}
+
+	cols := make([]Column, n)
+	for i := range cols {
+		// Sizes are log-uniform between 1 MB and 1 GB: enterprise
+		// tables mix narrow flags with wide document-number columns.
+		sz := math.Exp(rng.Float64()*math.Log(1024) + math.Log(1)) // 1..1024 MB
+		// Selectivity: base log-uniform in [1e-6, 1], pulled down for
+		// popular columns by the configured correlation.
+		sel := math.Exp(-rng.Float64() * 6 * math.Ln10 / 2.6) // ~[4e-3, 1] log-ish spread
+		rank := float64(i) / float64(n)
+		sel = sel*(1-cfg.Correlation) + cfg.Correlation*math.Pow(10, -3*(1-rank))*rng.Float64()
+		if sel <= 0 {
+			sel = 1e-6
+		}
+		if sel > 1 {
+			sel = 1
+		}
+		cols[i] = Column{
+			Name:        fmt.Sprintf("col_%03d", i),
+			Size:        int64(sz * float64(1<<20)),
+			Selectivity: sel,
+		}
+	}
+
+	sampleByPopularity := func() int {
+		target := rng.Float64() * popSum
+		for i, p := range popularity {
+			target -= p
+			if target <= 0 {
+				return i
+			}
+		}
+		return n - 1
+	}
+
+	queries := make([]Query, cfg.Queries)
+	for j := range queries {
+		// Query width: 1 + Poisson-ish around the configured mean.
+		width := 1
+		for rng.Float64() < 1-1/cfg.MeanColumnsPerQuery && width < n {
+			width++
+		}
+		seen := make(map[int]bool, width)
+		qcols := make([]int, 0, width)
+		for len(qcols) < width {
+			var c int
+			if rng.Float64() < cfg.CoOccurrence {
+				c = sampleByPopularity()
+			} else {
+				c = rng.Intn(n)
+			}
+			if !seen[c] {
+				seen[c] = true
+				qcols = append(qcols, c)
+			}
+		}
+		// Frequencies are skewed: a few plans dominate the cache.
+		freq := math.Floor(math.Exp(rng.Float64() * math.Log(1000))) // 1..1000
+		queries[j] = Query{Columns: qcols, Frequency: freq}
+	}
+
+	w := &Workload{Columns: cols, Queries: queries}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("core: generated invalid Example 1 instance: %w", err)
+	}
+	return w, nil
+}

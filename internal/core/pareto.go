@@ -1,0 +1,78 @@
+package core
+
+// ParetoPoint is one point of the efficient frontier: an allocation
+// together with the relative budget it was computed for.
+type ParetoPoint struct {
+	// Budget is the absolute DRAM budget A in bytes.
+	Budget int64
+	// RelativeBudget is w = A / TotalSize.
+	RelativeBudget float64
+	// Allocation is the optimal (or heuristic) allocation for Budget.
+	Allocation Allocation
+	// RelativePerformance is minimal cost / Allocation.Cost (<= 1).
+	RelativePerformance float64
+}
+
+// FrontierMethod selects how frontier points are computed.
+type FrontierMethod int
+
+const (
+	// FrontierILP computes each point with the exact integer program;
+	// the resulting points are the true efficient frontier (Figure 3).
+	FrontierILP FrontierMethod = iota
+	// FrontierContinuous computes each point with the explicit
+	// continuous/penalty solution; points are Pareto-efficient but only
+	// the largest prefix allocation fitting each budget (Theorem 1).
+	FrontierContinuous
+	// FrontierFilling computes each point with the explicit solution
+	// plus the filling heuristic of Remark 2.
+	FrontierFilling
+)
+
+// Frontier computes allocations for a sweep of relative budgets
+// w in [0,1]. It returns one ParetoPoint per requested budget.
+func Frontier(w *Workload, p CostParams, relativeBudgets []float64, method FrontierMethod) ([]ParetoPoint, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	total := w.TotalSize()
+	points := make([]ParetoPoint, 0, len(relativeBudgets))
+	for _, rb := range relativeBudgets {
+		budget := int64(rb * float64(total))
+		var (
+			alloc Allocation
+			err   error
+		)
+		switch method {
+		case FrontierILP:
+			alloc, err = OptimalILP(w, p, budget)
+		case FrontierContinuous:
+			alloc, err = ExplicitForBudget(w, p, budget, nil, 0)
+		case FrontierFilling:
+			alloc, err = FillingForBudget(w, p, budget, nil, 0)
+		}
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, ParetoPoint{
+			Budget:              budget,
+			RelativeBudget:      rb,
+			Allocation:          alloc,
+			RelativePerformance: RelativePerformance(w, p, alloc),
+		})
+	}
+	return points, nil
+}
+
+// IsParetoEfficient reports whether candidate is not dominated by any
+// point in points: no point has both strictly lower cost and no more
+// memory, or strictly less memory and no higher cost.
+func IsParetoEfficient(candidate Allocation, points []Allocation) bool {
+	for _, p := range points {
+		if (p.Cost < candidate.Cost && p.Memory <= candidate.Memory) ||
+			(p.Memory < candidate.Memory && p.Cost <= candidate.Cost) {
+			return false
+		}
+	}
+	return true
+}

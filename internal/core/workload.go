@@ -1,0 +1,158 @@
+// Package core implements the column selection model of Boissier,
+// Schlosser and Uflacker, "Hybrid Data Layouts for Tiered HTAP Databases
+// with Pareto-Optimal Data Placements" (ICDE 2018).
+//
+// The model decides which columns of a table stay DRAM-resident (as
+// dictionary-encoded Memory-Resident Columns, MRCs) and which are evicted
+// into a row-oriented Secondary-Storage Column Group (SSCG), given a DRAM
+// budget. Costs are bandwidth-centric scan costs with selection
+// interaction: conjunctive predicates are executed in ascending order of
+// selectivity, and each executed predicate multiplicatively shrinks the
+// fraction of rows the following predicates touch.
+//
+// The package provides the paper's full solution family:
+//
+//   - the exact integer program (2)-(3), solved via branch and bound
+//     (package internal/solver);
+//   - the penalty formulation (5) whose solutions are integer (Lemma 1)
+//     and Pareto-efficient (Theorem 1);
+//   - the reallocation-aware extension (6)-(7);
+//   - the explicit solution of Theorem 2 ("Schlosser heuristic") that
+//     derives the performance order o_i without any solver;
+//   - the filling heuristic (Remark 2) and the greedy marginal-gain
+//     heuristic (Remark 3);
+//   - the benchmark heuristics H1-H3 the paper compares against.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Column describes a single attribute of the table under optimization.
+type Column struct {
+	// Name identifies the column; it is only used for reporting.
+	Name string
+	// Size is the column's size a_i in bytes (its DRAM footprint when
+	// resident, and the amount of data a full scan reads).
+	Size int64
+	// Selectivity is the average share of rows matching an
+	// equi-predicate on the column, defined as 1/n for n distinct
+	// values (paper, Section II-B). Must be in (0, 1].
+	Selectivity float64
+	// Pinned forces the column to stay DRAM-resident regardless of the
+	// optimization outcome (e.g. primary keys under an SLA).
+	Pinned bool
+}
+
+// Query is one distinct plan of the workload: the set of columns its
+// conjunctive predicates touch, and how often the plan was executed.
+type Query struct {
+	// Columns holds indexes into Workload.Columns of the attributes the
+	// query filters on (the set q_j). Order is irrelevant; the cost
+	// model sorts predicates by selectivity.
+	Columns []int
+	// Frequency is the query's number of occurrences b_j. Must be
+	// non-negative.
+	Frequency float64
+}
+
+// Workload is the column selection input: the table's columns and the
+// observed queries over them, as extracted from a plan cache.
+type Workload struct {
+	Columns []Column
+	Queries []Query
+}
+
+// CostParams calibrates the bandwidth-centric cost model. Both values
+// express the time to read one byte from the respective tier, e.g.
+// seconds per byte. Typically CMM < CSS.
+type CostParams struct {
+	// CMM is the scan cost parameter c_mm for main memory.
+	CMM float64
+	// CSS is the scan cost parameter c_ss for secondary storage.
+	CSS float64
+}
+
+// DefaultCostParams returns cost parameters loosely calibrated to a
+// 2017-era NUMA server: ~10 GB/s effective single-socket scan bandwidth
+// from DRAM and ~1 GB/s from a NAND SSD.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		CMM: 1.0 / (10 << 30),
+		CSS: 1.0 / (1 << 30),
+	}
+}
+
+// Validate checks the workload for structural errors: empty column set,
+// out-of-range column references, non-positive sizes, selectivities
+// outside (0,1], or negative frequencies.
+func (w *Workload) Validate() error {
+	if len(w.Columns) == 0 {
+		return errors.New("core: workload has no columns")
+	}
+	for i, c := range w.Columns {
+		if c.Size <= 0 {
+			return fmt.Errorf("core: column %d (%s) has non-positive size %d", i, c.Name, c.Size)
+		}
+		if c.Selectivity <= 0 || c.Selectivity > 1 {
+			return fmt.Errorf("core: column %d (%s) has selectivity %g outside (0,1]", i, c.Name, c.Selectivity)
+		}
+	}
+	for j, q := range w.Queries {
+		if q.Frequency < 0 {
+			return fmt.Errorf("core: query %d has negative frequency %g", j, q.Frequency)
+		}
+		seen := make(map[int]bool, len(q.Columns))
+		for _, c := range q.Columns {
+			if c < 0 || c >= len(w.Columns) {
+				return fmt.Errorf("core: query %d references column %d, have %d columns", j, c, len(w.Columns))
+			}
+			if seen[c] {
+				return fmt.Errorf("core: query %d references column %d twice", j, c)
+			}
+			seen[c] = true
+		}
+	}
+	return nil
+}
+
+// TotalSize returns the summed size of all columns in bytes; the budget
+// A(w) = w * TotalSize for a relative memory budget w in [0,1].
+func (w *Workload) TotalSize() int64 {
+	var total int64
+	for _, c := range w.Columns {
+		total += c.Size
+	}
+	return total
+}
+
+// AccessCounts returns g_i, the summed frequency of queries that include
+// each column (paper, heuristic H1).
+func (w *Workload) AccessCounts() []float64 {
+	g := make([]float64, len(w.Columns))
+	for _, q := range w.Queries {
+		for _, c := range q.Columns {
+			g[c] += q.Frequency
+		}
+	}
+	return g
+}
+
+// scanOrder returns the column indexes of q sorted in the execution
+// order assumed by the cost model: ascending selectivity (most
+// restrictive predicate first), with ties broken by column index so the
+// model is deterministic.
+func (w *Workload) scanOrder(q Query) []int {
+	order := make([]int, len(q.Columns))
+	copy(order, q.Columns)
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := order[a], order[b]
+		if w.Columns[ca].Selectivity != w.Columns[cb].Selectivity {
+			return w.Columns[ca].Selectivity < w.Columns[cb].Selectivity
+		}
+		return ca < cb
+	})
+	return order
+}

@@ -1,0 +1,243 @@
+// Package delta implements the write-optimized, DRAM-resident delta
+// partition (paper Section II, cf. C-Store's writable store): data
+// modifications append here using an insert-only approach, each column
+// keeps an unsorted dictionary with an additional B+-tree for fast value
+// retrievals, and the partition is periodically merged into the
+// read-optimized main partition. The delta stays fully DRAM-resident,
+// which is why tiering does not affect modification throughput.
+package delta
+
+import (
+	"fmt"
+	"sync"
+
+	"tierdb/internal/bptree"
+	"tierdb/internal/mvcc"
+	"tierdb/internal/schema"
+	"tierdb/internal/value"
+)
+
+// deltaColumn is one attribute of the delta: an unsorted dictionary
+// (insertion order) plus the per-row code vector and a B+-tree value
+// index.
+type deltaColumn struct {
+	codeOf map[value.Value]uint32
+	values []value.Value
+	codes  []uint32
+	tree   *bptree.Tree
+}
+
+// Partition is a write-optimized delta partition. All methods are safe
+// for concurrent use.
+type Partition struct {
+	mu       sync.RWMutex
+	schema   *schema.Schema
+	cols     []deltaColumn
+	versions *mvcc.Versions
+}
+
+// New returns an empty delta partition for the given schema.
+func New(s *schema.Schema) *Partition {
+	p := &Partition{
+		schema:   s,
+		cols:     make([]deltaColumn, s.Len()),
+		versions: mvcc.NewVersions(),
+	}
+	for i := range p.cols {
+		p.cols[i].codeOf = make(map[value.Value]uint32)
+		p.cols[i].tree = bptree.New(s.Field(i).Type)
+	}
+	return p
+}
+
+// Schema returns the partition's schema.
+func (p *Partition) Schema() *schema.Schema { return p.schema }
+
+// Versions exposes the MVCC version store for the delta's rows.
+func (p *Partition) Versions() *mvcc.Versions { return p.versions }
+
+// Rows returns the number of physically stored rows (including
+// uncommitted and deleted ones).
+func (p *Partition) Rows() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.cols) == 0 {
+		return 0
+	}
+	return len(p.cols[0].codes)
+}
+
+// appendRow stores the row values and returns the new local position.
+// Caller holds p.mu.
+func (p *Partition) appendRow(row []value.Value) int {
+	pos := len(p.cols[0].codes)
+	for i, v := range row {
+		c := &p.cols[i]
+		code, ok := c.codeOf[v]
+		if !ok {
+			code = uint32(len(c.values))
+			c.codeOf[v] = code
+			c.values = append(c.values, v)
+		}
+		c.codes = append(c.codes, code)
+		c.tree.Insert(v, uint32(pos))
+	}
+	return pos
+}
+
+// Insert appends a provisional row owned by tx; the row becomes visible
+// to other transactions when tx commits. The returned position is local
+// to the delta.
+func (p *Partition) Insert(tx *mvcc.Tx, row []value.Value) (int, error) {
+	if err := p.schema.CheckRow(row); err != nil {
+		return 0, fmt.Errorf("delta: %w", err)
+	}
+	p.mu.Lock()
+	pos := p.appendRow(row)
+	local := p.versions.AppendPending(tx.ID())
+	if local != pos {
+		p.mu.Unlock()
+		return 0, fmt.Errorf("delta: version store out of sync: row %d vs %d", local, pos)
+	}
+	p.mu.Unlock()
+	tx.OnCommit(func(ts mvcc.Timestamp) { p.versions.CommitInsert(pos, ts) })
+	tx.OnAbort(func() { p.versions.AbortInsert(pos) })
+	return pos, nil
+}
+
+// Append adds a row that is immediately visible from ts on (bulk load
+// path, no transaction).
+func (p *Partition) Append(row []value.Value, ts mvcc.Timestamp) (int, error) {
+	if err := p.schema.CheckRow(row); err != nil {
+		return 0, fmt.Errorf("delta: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pos := p.appendRow(row)
+	p.versions.AppendCommitted(ts)
+	return pos, nil
+}
+
+// Delete acquires a delete intent on a delta row for tx.
+func (p *Partition) Delete(tx *mvcc.Tx, pos int) error {
+	if err := p.versions.MarkDelete(pos, tx.ID()); err != nil {
+		return err
+	}
+	tx.OnCommit(func(ts mvcc.Timestamp) { p.versions.CommitDelete(pos, ts) })
+	tx.OnAbort(func() { p.versions.AbortDelete(pos, tx.ID()) })
+	return nil
+}
+
+// Get returns the value at (pos, col) regardless of visibility; callers
+// filter with Versions().Visible.
+func (p *Partition) Get(pos, col int) (value.Value, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if col < 0 || col >= len(p.cols) {
+		return value.Value{}, fmt.Errorf("delta: column %d out of range (%d)", col, len(p.cols))
+	}
+	c := &p.cols[col]
+	if pos < 0 || pos >= len(c.codes) {
+		return value.Value{}, fmt.Errorf("delta: row %d out of range (%d)", pos, len(c.codes))
+	}
+	return c.values[c.codes[pos]], nil
+}
+
+// GetRow materializes a full delta row.
+func (p *Partition) GetRow(pos int) ([]value.Value, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.cols) == 0 || pos < 0 || pos >= len(p.cols[0].codes) {
+		return nil, fmt.Errorf("delta: row %d out of range", pos)
+	}
+	out := make([]value.Value, len(p.cols))
+	for i := range p.cols {
+		c := &p.cols[i]
+		out[i] = c.values[c.codes[pos]]
+	}
+	return out, nil
+}
+
+// ScanEqual appends positions (local to the delta) whose column equals v
+// and which are visible at (snapshot, self). It uses the B+-tree index,
+// the delta's fast value-retrieval path.
+func (p *Partition) ScanEqual(col int, v value.Value, snapshot mvcc.Timestamp, self mvcc.TxID, out []uint32) ([]uint32, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if col < 0 || col >= len(p.cols) {
+		return nil, fmt.Errorf("delta: column %d out of range (%d)", col, len(p.cols))
+	}
+	for _, pos := range p.cols[col].tree.Lookup(v) {
+		if p.versions.Visible(int(pos), snapshot, self) {
+			out = append(out, pos)
+		}
+	}
+	return out, nil
+}
+
+// ScanRange appends visible positions with lo <= value <= hi.
+func (p *Partition) ScanRange(col int, lo, hi value.Value, snapshot mvcc.Timestamp, self mvcc.TxID, out []uint32) ([]uint32, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if col < 0 || col >= len(p.cols) {
+		return nil, fmt.Errorf("delta: column %d out of range (%d)", col, len(p.cols))
+	}
+	p.cols[col].tree.Range(lo, hi, func(_ value.Value, positions []uint32) bool {
+		for _, pos := range positions {
+			if p.versions.Visible(int(pos), snapshot, self) {
+				out = append(out, pos)
+			}
+		}
+		return true
+	})
+	return out, nil
+}
+
+// VisibleRows returns the positions of all rows visible at (snapshot,
+// self), in insertion order. Used by the merge process and full scans.
+func (p *Partition) VisibleRows(snapshot mvcc.Timestamp, self mvcc.TxID) []int {
+	p.mu.RLock()
+	n := 0
+	if len(p.cols) > 0 {
+		n = len(p.cols[0].codes)
+	}
+	p.mu.RUnlock()
+	out := make([]int, 0, n)
+	for pos := 0; pos < n; pos++ {
+		if p.versions.Visible(pos, snapshot, self) {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// Bytes estimates the DRAM footprint of the delta (dictionaries, code
+// vectors, trees are ignored, MVCC vectors included).
+func (p *Partition) Bytes() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var b int64
+	for i := range p.cols {
+		c := &p.cols[i]
+		b += int64(len(c.codes)) * 4
+		for _, v := range c.values {
+			if v.Type() == value.String {
+				b += int64(len(v.Str())) + 16
+			} else {
+				b += 8
+			}
+		}
+	}
+	return b + p.versions.Bytes()
+}
+
+// DistinctCount returns the number of distinct values inserted into the
+// column so far (selectivity estimation for delta-resident data).
+func (p *Partition) DistinctCount(col int) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if col < 0 || col >= len(p.cols) {
+		return 0
+	}
+	return len(p.cols[col].values)
+}

@@ -1,0 +1,203 @@
+// Package device models the storage devices of the paper's evaluation
+// (Section IV): DRAM, a consumer SATA SSD (CSSD, Samsung 850 Pro), an
+// enterprise NVMe SSD (ESSD, SanDisk Fusion ioMemory PX600), a SATA HDD
+// (WD40EZRX) and a 3D XPoint drive (Intel Optane P4800X).
+//
+// The paper runs on the physical devices; this reproduction substitutes
+// analytic device models driving a virtual clock. Each profile captures
+// the characteristics the evaluation depends on: random 4 KB read
+// latency (with tail behaviour for percentile plots), sequential
+// bandwidth, and how throughput scales with request concurrency — NAND
+// devices need deep IO queues for full performance, 3D XPoint delivers
+// ~10x lower latency even at queue depth 1, and HDDs degrade under
+// concurrent random access.
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// PageSize is the IO granularity used throughout the system, as in the
+// paper (4 KB page accesses to secondary storage).
+const PageSize = 4096
+
+// Profile describes one storage device for the analytic timing model.
+type Profile struct {
+	// Name identifies the device in reports ("CSSD", "3D XPoint", ...).
+	Name string
+	// ReadLatency is the mean service time of one random 4 KB read at
+	// queue depth 1.
+	ReadLatency time.Duration
+	// WriteLatency is the mean service time of one 4 KB write at queue
+	// depth 1.
+	WriteLatency time.Duration
+	// TailFactor is the ratio of the 99th-percentile latency to the
+	// mean; NAND devices have heavy tails (garbage collection), 3D
+	// XPoint is tight.
+	TailFactor float64
+	// SeqBandwidth is the sustained sequential read bandwidth in
+	// bytes per second.
+	SeqBandwidth float64
+	// Saturation is the queue depth at which random-read throughput
+	// saturates; additional concurrency no longer helps.
+	Saturation int
+	// ConcurrencyPenalty > 0 degrades service time by the factor
+	// 1 + ConcurrencyPenalty*(threads-1) under concurrent random
+	// access; used for HDDs whose head thrashes between request
+	// streams.
+	ConcurrencyPenalty float64
+}
+
+// The device profiles of the paper's testbed. Latencies and bandwidths
+// follow the published specifications of the named devices; exact values
+// do not matter for the reproduction, the ordering and ratios do.
+var (
+	// DRAM models main memory accessed at page granularity; the
+	// latency approximates reading 4 KB spread over cache misses.
+	DRAM = Profile{
+		Name:         "DRAM",
+		ReadLatency:  300 * time.Nanosecond,
+		WriteLatency: 300 * time.Nanosecond,
+		TailFactor:   1.5,
+		SeqBandwidth: 10 << 30, // per-thread stream bandwidth
+		Saturation:   4,
+	}
+	// CSSD is the consumer-grade Samsung SSD 850 Pro (SATA, 256 GB).
+	CSSD = Profile{
+		Name:         "CSSD",
+		ReadLatency:  95 * time.Microsecond,
+		WriteLatency: 120 * time.Microsecond,
+		TailFactor:   6,
+		SeqBandwidth: 530 << 20,
+		Saturation:   32,
+	}
+	// ESSD is the enterprise SanDisk Fusion ioMemory PX600 (1 TB), a
+	// bandwidth-optimized NVMe device that needs large IO queues.
+	ESSD = Profile{
+		Name:         "ESSD",
+		ReadLatency:  80 * time.Microsecond,
+		WriteLatency: 30 * time.Microsecond,
+		TailFactor:   5,
+		SeqBandwidth: 2700 << 20,
+		Saturation:   128,
+	}
+	// HDD is the SATA Western Digital WD40EZRX (4 TB, 64 MB cache).
+	HDD = Profile{
+		Name:               "HDD",
+		ReadLatency:        8500 * time.Microsecond,
+		WriteLatency:       9000 * time.Microsecond,
+		TailFactor:         3,
+		SeqBandwidth:       150 << 20,
+		Saturation:         1,
+		ConcurrencyPenalty: 0.35,
+	}
+	// XPoint is the Intel Optane P4800X: ~10x lower random latency
+	// than NAND even at queue depth 1, with a very tight distribution.
+	XPoint = Profile{
+		Name:         "3D XPoint",
+		ReadLatency:  10 * time.Microsecond,
+		WriteLatency: 10 * time.Microsecond,
+		TailFactor:   1.6,
+		SeqBandwidth: 2400 << 20,
+		Saturation:   16,
+	}
+)
+
+// Profiles returns the secondary-storage profiles of the paper's
+// evaluation in presentation order.
+func Profiles() []Profile {
+	return []Profile{CSSD, ESSD, HDD, XPoint}
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range append(Profiles(), DRAM) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("device: unknown profile %q", name)
+}
+
+// contention returns the service-time inflation under concurrent random
+// access (1 for devices without a concurrency penalty).
+func (p Profile) contention(threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	return 1 + p.ConcurrencyPenalty*float64(threads-1)
+}
+
+// RandomReadTime returns the modeled mean wall-clock time for one thread
+// of `threads` concurrent workers to complete `pages` random 4 KB reads.
+// Throughput improves with concurrency up to the saturation queue depth
+// and is capped by the sequential bandwidth.
+func (p Profile) RandomReadTime(pages int64, threads int) time.Duration {
+	if pages <= 0 {
+		return 0
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	// Each worker issues its reads synchronously, so a single stream
+	// never completes a read faster than the QD1 service time; the
+	// device overlaps requests from different streams up to its
+	// saturation queue depth, beyond which streams queue behind each
+	// other.
+	service := float64(p.ReadLatency) * p.contention(threads)
+	queueing := 1.0
+	if threads > p.Saturation {
+		queueing = float64(threads) / float64(p.Saturation)
+	}
+	t := float64(pages) * service * queueing
+	// Bandwidth cap: all streams together cannot move bytes faster
+	// than the sequential bandwidth.
+	if floor := float64(pages*PageSize) * float64(threads) / p.SeqBandwidth * float64(time.Second); t < floor {
+		t = floor
+	}
+	return time.Duration(t)
+}
+
+// SequentialReadTime returns the modeled time for one thread of
+// `threads` concurrent workers to sequentially read `bytes` bytes. The
+// device bandwidth is shared across threads; one initial seek/latency is
+// charged per stream.
+func (p Profile) SequentialReadTime(bytes int64, threads int) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	bw := p.SeqBandwidth / float64(max(threads, 1))
+	seconds := float64(bytes)/bw + float64(p.ReadLatency)/float64(time.Second)*p.contention(threads)
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// SampleReadLatency draws one random 4 KB read latency from a lognormal
+// distribution whose mean matches ReadLatency (with concurrency effects)
+// and whose tail matches TailFactor at the 99th percentile. Used for the
+// latency-distribution experiments (Figures 7 and 8).
+func (p Profile) SampleReadLatency(rng *rand.Rand, threads int) time.Duration {
+	mean := float64(p.ReadLatency) * p.contention(threads)
+	// Lognormal with exp(mu + sigma*z): choose sigma so that
+	// p99/mean == TailFactor: quantile z99 = 2.326.
+	// p99/mean = exp(sigma*z99 - sigma^2/2)  =>  solve for sigma.
+	sigma := solveSigma(p.TailFactor)
+	mu := math.Log(mean) - sigma*sigma/2
+	return time.Duration(math.Exp(mu + sigma*rng.NormFloat64()))
+}
+
+// solveSigma finds sigma with exp(sigma*z99 - sigma^2/2) = tail.
+func solveSigma(tail float64) float64 {
+	if tail <= 1 {
+		return 0.01
+	}
+	const z99 = 2.326
+	// sigma^2/2 - z99*sigma + ln(tail) = 0 => sigma = z99 - sqrt(z99^2 - 2 ln tail)
+	d := z99*z99 - 2*math.Log(tail)
+	if d < 0 {
+		return z99 // extremely heavy tail; clamp
+	}
+	return z99 - math.Sqrt(d)
+}

@@ -1,0 +1,146 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"DRAM", "CSSD", "ESSD", "HDD", "3D XPoint"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("floppy"); err == nil {
+		t.Error("ByName accepted unknown device")
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// The paper's central device fact: XPoint has ~10x lower random
+	// latency than NAND; DRAM is far below everything; HDD is worst.
+	if !(DRAM.ReadLatency < XPoint.ReadLatency &&
+		XPoint.ReadLatency < ESSD.ReadLatency &&
+		ESSD.ReadLatency <= CSSD.ReadLatency &&
+		CSSD.ReadLatency < HDD.ReadLatency) {
+		t.Error("device latency ordering violated")
+	}
+	ratio := float64(CSSD.ReadLatency) / float64(XPoint.ReadLatency)
+	if ratio < 5 || ratio > 20 {
+		t.Errorf("NAND/XPoint latency ratio = %.1f, want ~10", ratio)
+	}
+}
+
+func TestRandomReadTimeScalesWithPages(t *testing.T) {
+	one := CSSD.RandomReadTime(1, 1)
+	thousand := CSSD.RandomReadTime(1000, 1)
+	if got := float64(thousand) / float64(one); math.Abs(got-1000) > 1 {
+		t.Errorf("1000-page time / 1-page time = %g, want 1000", got)
+	}
+}
+
+func TestRandomReadTimeZeroAndNegative(t *testing.T) {
+	if CSSD.RandomReadTime(0, 1) != 0 {
+		t.Error("zero pages should take zero time")
+	}
+	if CSSD.RandomReadTime(-5, 1) != 0 {
+		t.Error("negative pages should take zero time")
+	}
+	if CSSD.RandomReadTime(1, 0) != CSSD.RandomReadTime(1, 1) {
+		t.Error("zero threads should behave like one thread")
+	}
+}
+
+func TestNANDNeedsQueueDepth(t *testing.T) {
+	// ESSD is bandwidth-optimized: per-thread time should stay flat
+	// (device absorbs concurrency) until saturation, so aggregate
+	// throughput rises with threads.
+	pages := int64(10000)
+	t1 := ESSD.RandomReadTime(pages, 1)
+	t32 := ESSD.RandomReadTime(pages, 32)
+	// Aggregate throughput = threads*pages / per-thread time.
+	agg1 := float64(pages) / t1.Seconds()
+	agg32 := 32 * float64(pages) / t32.Seconds()
+	if agg32 < 8*agg1 {
+		t.Errorf("ESSD aggregate throughput at 32 threads = %.0f pages/s, want >= 8x QD1 (%.0f)", agg32, agg1)
+	}
+}
+
+func TestHDDDegradesUnderConcurrency(t *testing.T) {
+	// Paper, Fig. 9: "HDDs perform well for pure sequential requests
+	// but significantly slow down with concurrent requests".
+	pages := int64(1000)
+	t1 := HDD.RandomReadTime(pages, 1)
+	t8 := HDD.RandomReadTime(pages, 8)
+	agg1 := float64(pages) / t1.Seconds()
+	agg8 := 8 * float64(pages) / t8.Seconds()
+	if agg8 > agg1 {
+		t.Errorf("HDD aggregate random throughput improved under concurrency: %.0f -> %.0f pages/s", agg1, agg8)
+	}
+}
+
+func TestBandwidthCap(t *testing.T) {
+	// Huge sequential-equivalent random workloads cannot exceed the
+	// sequential bandwidth.
+	pages := int64(1 << 20)
+	for _, p := range Profiles() {
+		tt := p.RandomReadTime(pages, p.Saturation)
+		bytesPerSec := float64(pages*PageSize) / tt.Seconds() * float64(p.Saturation)
+		if bytesPerSec > p.SeqBandwidth*1.01 {
+			t.Errorf("%s: random read throughput %.0f B/s exceeds bandwidth %.0f", p.Name, bytesPerSec, p.SeqBandwidth)
+		}
+	}
+}
+
+func TestSequentialReadTime(t *testing.T) {
+	// 1 GB at 530 MB/s is roughly 1.9 s.
+	got := CSSD.SequentialReadTime(1<<30, 1)
+	seconds := float64(1<<30) / float64(530<<20)
+	want := time.Duration(seconds * float64(time.Second))
+	if math.Abs(got.Seconds()-want.Seconds()) > 0.1 {
+		t.Errorf("sequential 1 GB on CSSD = %v, want ~%v", got, want)
+	}
+	if CSSD.SequentialReadTime(0, 1) != 0 {
+		t.Error("zero bytes should take zero time")
+	}
+	// Sharing bandwidth across threads slows each stream.
+	if CSSD.SequentialReadTime(1<<30, 4) <= CSSD.SequentialReadTime(1<<30, 1) {
+		t.Error("per-stream sequential time should grow with concurrent streams")
+	}
+}
+
+func TestSampleReadLatencyMatchesMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, p := range []Profile{CSSD, XPoint} {
+		n := 200000
+		samples := make([]float64, n)
+		var sum float64
+		for i := range samples {
+			samples[i] = float64(p.SampleReadLatency(rng, 1))
+			sum += samples[i]
+		}
+		mean := sum / float64(n)
+		if rel := math.Abs(mean-float64(p.ReadLatency)) / float64(p.ReadLatency); rel > 0.05 {
+			t.Errorf("%s: sampled mean %.0fns off profile mean %v by %.1f%%", p.Name, mean, p.ReadLatency, rel*100)
+		}
+		sort.Float64s(samples)
+		p99 := samples[int(0.99*float64(n))]
+		gotTail := p99 / mean
+		if math.Abs(gotTail-p.TailFactor)/p.TailFactor > 0.15 {
+			t.Errorf("%s: sampled p99/mean = %.2f, want ~%.2f", p.Name, gotTail, p.TailFactor)
+		}
+	}
+}
+
+func TestXPointTailTighterThanNAND(t *testing.T) {
+	if XPoint.TailFactor >= CSSD.TailFactor {
+		t.Error("XPoint tail should be tighter than NAND")
+	}
+}

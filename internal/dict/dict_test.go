@@ -1,0 +1,204 @@
+package dict
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tierdb/internal/value"
+)
+
+func intValues(vs ...int64) []value.Value {
+	out := make([]value.Value, len(vs))
+	for i, v := range vs {
+		out[i] = value.NewInt(v)
+	}
+	return out
+}
+
+func TestBuildEncodesOrderPreserving(t *testing.T) {
+	vals := intValues(30, 10, 20, 10, 30, 30)
+	d, codes, err := Build(value.Int64, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", d.Size())
+	}
+	// Order preservation: code(10) < code(20) < code(30).
+	want := []uint32{2, 0, 1, 0, 2, 2}
+	for i, c := range codes {
+		if c != want[i] {
+			t.Errorf("codes[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+	for i, v := range vals {
+		got, err := d.Decode(codes[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("Decode(Encode(%v)) = %v", v, got)
+		}
+	}
+}
+
+func TestBuildRejectsMixedTypes(t *testing.T) {
+	_, _, err := Build(value.Int64, []value.Value{value.NewInt(1), value.NewString("x")})
+	if err == nil {
+		t.Error("mixed types accepted")
+	}
+}
+
+func TestEncodeMissingValue(t *testing.T) {
+	d, _, _ := Build(value.Int64, intValues(1, 2, 3))
+	if _, ok := d.Encode(value.NewInt(9)); ok {
+		t.Error("Encode found missing value")
+	}
+}
+
+func TestDecodeOutOfRange(t *testing.T) {
+	d, _, _ := Build(value.Int64, intValues(1))
+	if _, err := d.Decode(5); err == nil {
+		t.Error("Decode accepted out-of-range code")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d, _, _ := Build(value.Int64, intValues(10, 20, 30))
+	if lb := d.LowerBound(value.NewInt(15)); lb != 1 {
+		t.Errorf("LowerBound(15) = %d, want 1", lb)
+	}
+	if lb := d.LowerBound(value.NewInt(20)); lb != 1 {
+		t.Errorf("LowerBound(20) = %d, want 1", lb)
+	}
+	if ub := d.UpperBound(value.NewInt(20)); ub != 2 {
+		t.Errorf("UpperBound(20) = %d, want 2", ub)
+	}
+	if lb := d.LowerBound(value.NewInt(99)); lb != 3 {
+		t.Errorf("LowerBound(99) = %d, want 3 (Size)", lb)
+	}
+	if ub := d.UpperBound(value.NewInt(5)); ub != 0 {
+		t.Errorf("UpperBound(5) = %d, want 0", ub)
+	}
+}
+
+func TestStringDictionary(t *testing.T) {
+	vals := []value.Value{value.NewString("beta"), value.NewString("alpha"), value.NewString("gamma"), value.NewString("alpha")}
+	d, codes, err := Build(value.String, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 3 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	if codes[1] != 0 || codes[3] != 0 {
+		t.Error("alpha should have the smallest code")
+	}
+	if d.Bytes() <= 0 {
+		t.Error("Bytes should be positive")
+	}
+	if d.Type() != value.String {
+		t.Error("Type mismatch")
+	}
+}
+
+func TestBitPackedRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500) + 1
+		maxCode := uint32(rng.Intn(1 << 20))
+		codes := make([]uint32, n)
+		for i := range codes {
+			codes[i] = uint32(rng.Int63n(int64(maxCode) + 1))
+		}
+		v := Pack(codes, maxCode)
+		if v.Len() != n {
+			return false
+		}
+		for i, c := range codes {
+			if v.Get(i) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitPackedWidth(t *testing.T) {
+	v := Pack([]uint32{0, 1, 2, 3}, 3)
+	if v.Bits() != 2 {
+		t.Errorf("Bits = %d, want 2", v.Bits())
+	}
+	v = Pack([]uint32{0}, 0)
+	if v.Bits() != 1 {
+		t.Errorf("Bits(max 0) = %d, want 1", v.Bits())
+	}
+	// 1000 2-bit codes = 2000 bits = 32 words = 256 bytes.
+	v = Pack(make([]uint32, 1000), 3)
+	if v.Bytes() != 256 {
+		t.Errorf("Bytes = %d, want 256", v.Bytes())
+	}
+}
+
+func TestBitPackedCrossesWordBoundaries(t *testing.T) {
+	// 20-bit codes force values to straddle 64-bit word boundaries.
+	codes := make([]uint32, 100)
+	for i := range codes {
+		codes[i] = uint32(i * 10007 % (1 << 20))
+	}
+	v := Pack(codes, 1<<20-1)
+	for i, c := range codes {
+		if v.Get(i) != c {
+			t.Fatalf("Get(%d) = %d, want %d", i, v.Get(i), c)
+		}
+	}
+}
+
+func TestScanEqualAndRange(t *testing.T) {
+	codes := []uint32{5, 1, 5, 3, 5, 2}
+	v := Pack(codes, 5)
+	got := v.ScanEqual(5, nil, nil)
+	want := []uint32{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("ScanEqual = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScanEqual = %v, want %v", got, want)
+		}
+	}
+	got = v.ScanRange(2, 4, nil, nil)
+	want = []uint32{3, 5}
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("ScanRange = %v, want %v", got, want)
+	}
+	// Skip function filters positions.
+	got = v.ScanEqual(5, nil, func(i int) bool { return i == 2 })
+	if len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Fatalf("ScanEqual with skip = %v", got)
+	}
+}
+
+func TestDictionaryCodeRangePredicate(t *testing.T) {
+	// End-to-end: a range predicate on values maps to a code range.
+	vals := intValues(15, 42, 8, 23, 42, 4, 16)
+	d, codes, _ := Build(value.Int64, vals)
+	packed := Pack(codes, uint32(d.Size()-1))
+	lo := d.LowerBound(value.NewInt(10))
+	hi := d.UpperBound(value.NewInt(25))
+	positions := packed.ScanRange(lo, hi, nil, nil)
+	// Values in [10,25]: 15 (pos 0), 23 (pos 3), 16 (pos 6).
+	want := map[uint32]bool{0: true, 3: true, 6: true}
+	if len(positions) != len(want) {
+		t.Fatalf("positions = %v", positions)
+	}
+	for _, p := range positions {
+		if !want[p] {
+			t.Fatalf("unexpected position %d", p)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package erp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tierdb/internal/schema"
+	"tierdb/internal/table"
+	"tierdb/internal/value"
+)
+
+// BSEGAttributes is the attribute count of the paper's BSEG table.
+const BSEGAttributes = 345
+
+// BSEGHotAttributes is the number of attributes the paper keeps as MRCs
+// for the BSEG benchmarks (Figure 8: "20 MRC-attributes and 325
+// attributes in an SSCG").
+const BSEGHotAttributes = 20
+
+// BSEGSchema returns a 345-attribute schema shaped like the BSEG
+// accounting-document line-item table: document numbers and keys first
+// (the hot attributes), followed by a long tail of amounts, flags and
+// codes.
+func BSEGSchema() *schema.Schema {
+	fields := make([]schema.Field, BSEGAttributes)
+	for i := range fields {
+		switch {
+		case i == 0:
+			fields[i] = schema.Field{Name: "BELNR", Type: value.Int64} // document number
+		case i == 1:
+			fields[i] = schema.Field{Name: "BUKRS", Type: value.Int64} // company code
+		case i == 2:
+			fields[i] = schema.Field{Name: "GJAHR", Type: value.Int64} // fiscal year
+		case i < BSEGHotAttributes:
+			fields[i] = schema.Field{Name: fmt.Sprintf("KEY%02d", i), Type: value.Int64}
+		case i%7 == 3:
+			fields[i] = schema.Field{Name: fmt.Sprintf("TXT%03d", i), Type: value.String, Width: 16}
+		case i%5 == 1:
+			fields[i] = schema.Field{Name: fmt.Sprintf("AMT%03d", i), Type: value.Float64}
+		default:
+			fields[i] = schema.Field{Name: fmt.Sprintf("FLD%03d", i), Type: value.Int64}
+		}
+	}
+	return schema.MustNew(fields)
+}
+
+// BSEGRow generates one deterministic pseudo-random BSEG row.
+func BSEGRow(s *schema.Schema, rowNum int, rng *rand.Rand) []value.Value {
+	row := make([]value.Value, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		f := s.Field(i)
+		switch f.Type {
+		case value.Int64:
+			switch i {
+			case 0:
+				row[i] = value.NewInt(int64(rowNum)) // BELNR nearly unique
+			case 1:
+				row[i] = value.NewInt(int64(rng.Intn(8))) // few company codes
+			case 2:
+				row[i] = value.NewInt(int64(2010 + rng.Intn(8)))
+			default:
+				row[i] = value.NewInt(int64(rng.Intn(1000)))
+			}
+		case value.Float64:
+			row[i] = value.NewFloat(float64(rng.Intn(1_000_000)) / 100)
+		default:
+			row[i] = value.NewString(fmt.Sprintf("T%07d", rng.Intn(100000)))
+		}
+	}
+	return row
+}
+
+// BuildBSEGTable creates and loads a BSEG-like table with the given row
+// count and applies the paper's benchmark layout: the first
+// BSEGHotAttributes columns as MRCs, the remaining 325 in an SSCG.
+func BuildBSEGTable(rows int, opts table.Options, seed int64) (*table.Table, error) {
+	s := BSEGSchema()
+	tbl, err := table.New("BSEG", s, opts)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]value.Value, rows)
+	for r := range data {
+		data[r] = BSEGRow(s, r, rng)
+	}
+	if err := tbl.BulkAppend(data); err != nil {
+		return nil, err
+	}
+	layout := make([]bool, s.Len())
+	for i := range layout {
+		layout[i] = i < BSEGHotAttributes
+	}
+	if err := tbl.ApplyLayout(layout); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}

@@ -1,0 +1,478 @@
+// Package exec implements query execution over tiered tables following
+// the paper's model (Section II-B): filters run via indexes when
+// available; remaining filters are ordered first by location
+// (DRAM-resident before tiered) and second by increasing selectivity;
+// successive predicates receive position lists; and the executor
+// switches from scanning to probing as soon as the fraction of
+// qualifying tuples falls below a threshold (default 0.01 % of the
+// table). DRAM-side costs are charged to a virtual clock; secondary-
+// storage costs flow through the table's timed page store.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tierdb/internal/device"
+	"tierdb/internal/mvcc"
+	"tierdb/internal/storage"
+	"tierdb/internal/table"
+	"tierdb/internal/value"
+)
+
+// Op is a predicate operator.
+type Op int
+
+const (
+	// Eq is an equality predicate (column = value).
+	Eq Op = iota
+	// Between is an inclusive range predicate (lo <= column <= hi).
+	Between
+)
+
+// Predicate is one conjunctive filter of a query.
+type Predicate struct {
+	// Column indexes the table schema.
+	Column int
+	// Op selects the comparison.
+	Op Op
+	// Value is the equality operand or range lower bound.
+	Value value.Value
+	// Hi is the inclusive range upper bound (Between only).
+	Hi value.Value
+}
+
+// Query is a conjunctive filter-and-project query.
+type Query struct {
+	// Predicates are combined with AND.
+	Predicates []Predicate
+	// Project lists the columns to materialize for each qualifying
+	// row; empty means positions only.
+	Project []int
+}
+
+// Result carries qualifying row ids and, if requested, their projected
+// values.
+type Result struct {
+	IDs  []table.RowID
+	Rows [][]value.Value
+}
+
+// Options tunes the executor.
+type Options struct {
+	// Clock accumulates modeled DRAM-side execution time; nil disables
+	// DRAM cost accounting.
+	Clock *storage.Clock
+	// ProbeThreshold is the qualifying fraction below which the
+	// executor probes instead of scanning tiered columns (paper:
+	// 0.01 % = 0.0001). Zero selects the default.
+	ProbeThreshold float64
+	// Threads is the concurrency level assumed for DRAM bandwidth
+	// modeling; defaults to 1.
+	Threads int
+	// DRAMTouch is the modeled cost of one dependent random DRAM
+	// access (cache miss); zero selects the default of 60 ns.
+	DRAMTouch time.Duration
+}
+
+// DefaultProbeThreshold is the paper's scan-to-probe switch point.
+const DefaultProbeThreshold = 0.0001
+
+// DefaultDRAMTouch approximates one random DRAM cache miss.
+const DefaultDRAMTouch = 60 * time.Nanosecond
+
+// Executor runs queries against one table.
+type Executor struct {
+	tbl       *table.Table
+	clock     *storage.Clock
+	threshold float64
+	threads   int
+	dramTouch time.Duration
+}
+
+// New builds an executor for tbl.
+func New(tbl *table.Table, opts Options) *Executor {
+	if opts.ProbeThreshold == 0 {
+		opts.ProbeThreshold = DefaultProbeThreshold
+	}
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+	if opts.DRAMTouch == 0 {
+		opts.DRAMTouch = DefaultDRAMTouch
+	}
+	return &Executor{
+		tbl:       tbl,
+		clock:     opts.Clock,
+		threshold: opts.ProbeThreshold,
+		threads:   opts.Threads,
+		dramTouch: opts.DRAMTouch,
+	}
+}
+
+// charge adds modeled DRAM time to the clock.
+func (e *Executor) charge(d time.Duration) {
+	if e.clock != nil {
+		e.clock.Advance(d)
+	}
+}
+
+// chargeTouches charges n dependent DRAM accesses.
+func (e *Executor) chargeTouches(n int) {
+	if e.clock != nil && n > 0 {
+		e.clock.Advance(time.Duration(n) * e.dramTouch)
+	}
+}
+
+// Run executes q at the transaction's snapshot (tx may be nil for a
+// read at the latest snapshot).
+func (e *Executor) Run(q Query, tx *mvcc.Tx) (*Result, error) {
+	var snapshot mvcc.Timestamp
+	var self mvcc.TxID
+	if tx != nil {
+		snapshot, self = tx.Snapshot(), tx.ID()
+	} else {
+		snapshot = e.tbl.Manager().LastCommit()
+	}
+	if err := e.checkQuery(q); err != nil {
+		return nil, err
+	}
+
+	ordered := e.orderPredicates(q.Predicates)
+
+	mainIDs, err := e.runMain(ordered, snapshot, self)
+	if err != nil {
+		return nil, err
+	}
+	deltaIDs, err := e.runDelta(ordered, snapshot, self)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{IDs: make([]table.RowID, 0, len(mainIDs)+len(deltaIDs))}
+	for _, p := range mainIDs {
+		res.IDs = append(res.IDs, table.RowID(p))
+	}
+	mainRows := uint64(e.tbl.MainRows())
+	for _, p := range deltaIDs {
+		res.IDs = append(res.IDs, mainRows+uint64(p))
+	}
+	if len(q.Project) > 0 {
+		if err := e.materialize(res, q.Project); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// checkQuery validates predicate and projection column indexes.
+func (e *Executor) checkQuery(q Query) error {
+	n := e.tbl.Schema().Len()
+	for _, p := range q.Predicates {
+		if p.Column < 0 || p.Column >= n {
+			return fmt.Errorf("exec: predicate column %d out of range (%d)", p.Column, n)
+		}
+		if p.Op != Eq && p.Op != Between {
+			return fmt.Errorf("exec: unknown operator %d", p.Op)
+		}
+	}
+	for _, c := range q.Project {
+		if c < 0 || c >= n {
+			return fmt.Errorf("exec: projected column %d out of range (%d)", c, n)
+		}
+	}
+	return nil
+}
+
+// orderPredicates sorts predicates as the paper prescribes: indexed
+// first, then DRAM-resident by ascending selectivity, then tiered by
+// ascending selectivity. Equality predicates use the 1/distinct
+// estimate; range predicates use the column's equi-depth histogram
+// when available (Section III-A: "distinct counts and histograms").
+func (e *Executor) orderPredicates(preds []Predicate) []Predicate {
+	out := append([]Predicate(nil), preds...)
+	rank := func(p Predicate) (int, float64) {
+		sel := e.estimateSelectivity(p)
+		if e.tbl.Index(p.Column) != nil {
+			return 0, sel
+		}
+		if e.tbl.MRC(p.Column) != nil {
+			return 1, sel
+		}
+		return 2, sel
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ra, sa := rank(out[a])
+		rb, sb := rank(out[b])
+		if ra != rb {
+			return ra < rb
+		}
+		return sa < sb
+	})
+	return out
+}
+
+// estimateSelectivity returns the expected qualifying fraction of one
+// predicate.
+func (e *Executor) estimateSelectivity(p Predicate) float64 {
+	switch p.Op {
+	case Between:
+		if p.Value.Type() == p.Hi.Type() {
+			return e.tbl.RangeSelectivity(p.Column, p.Value, p.Hi)
+		}
+		return e.tbl.Selectivity(p.Column)
+	default:
+		return e.tbl.Selectivity(p.Column)
+	}
+}
+
+// runMain evaluates the ordered predicates over the main partition and
+// returns qualifying main-row positions.
+func (e *Executor) runMain(preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID) ([]uint32, error) {
+	mainRows := e.tbl.MainRows()
+	if mainRows == 0 {
+		return nil, nil
+	}
+	skip := func(row int) bool {
+		return !e.tbl.MainVersions().Visible(row, snapshot, self)
+	}
+	var cand []uint32
+	first := true
+	for _, p := range preds {
+		var err error
+		cand, err = e.applyMain(p, cand, first, skip)
+		if err != nil {
+			return nil, err
+		}
+		first = false
+		if len(cand) == 0 {
+			return nil, nil
+		}
+	}
+	if first {
+		// No predicates: all visible rows qualify.
+		for row := 0; row < mainRows; row++ {
+			if !skip(row) {
+				cand = append(cand, uint32(row))
+			}
+		}
+	}
+	return cand, nil
+}
+
+// applyMain evaluates one predicate over the main partition, narrowing
+// the candidate list (nil on the first predicate).
+func (e *Executor) applyMain(p Predicate, cand []uint32, first bool, skip func(int) bool) ([]uint32, error) {
+	mainRows := e.tbl.MainRows()
+
+	// Index access path (always DRAM-resident).
+	if idx := e.tbl.Index(p.Column); idx != nil && first {
+		var positions []uint32
+		collect := func(_ value.Value, rows []uint32) bool {
+			positions = append(positions, rows...)
+			return true
+		}
+		switch p.Op {
+		case Eq:
+			positions = append(positions, idx.Lookup(p.Value)...)
+		case Between:
+			idx.Range(p.Value, p.Hi, collect)
+		}
+		e.chargeTouches(20 + len(positions)) // tree descent + leaf reads
+		out := positions[:0]
+		for _, pos := range positions {
+			if !skip(int(pos)) {
+				out = append(out, pos)
+			}
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out, nil
+	}
+
+	if mrc := e.tbl.MRC(p.Column); mrc != nil {
+		if first {
+			// Full scan on the compressed DRAM column.
+			e.charge(device.DRAM.SequentialReadTime(mrc.Bytes(), e.threads))
+			switch p.Op {
+			case Eq:
+				return mrc.ScanEqual(p.Value, nil, skip)
+			default:
+				return mrc.ScanRange(p.Value, p.Hi, nil, skip)
+			}
+		}
+		// Subsequent predicate: probe the candidate list (always
+		// cheaper than re-scanning DRAM).
+		e.chargeTouches(len(cand))
+		switch p.Op {
+		case Eq:
+			return mrc.ProbeEqual(p.Value, cand, nil)
+		default:
+			return mrc.ProbeRange(p.Value, p.Hi, cand, nil)
+		}
+	}
+
+	// Tiered column (SSCG-placed).
+	gf := e.tbl.GroupField(p.Column)
+	group := e.tbl.Group()
+	if group == nil || gf < 0 {
+		return nil, fmt.Errorf("exec: column %d has no storage (internal layout error)", p.Column)
+	}
+	pred, err := e.compile(p)
+	if err != nil {
+		return nil, err
+	}
+	fraction := 1.0
+	if !first {
+		fraction = float64(len(cand)) / float64(mainRows)
+	}
+	if first || fraction > e.threshold {
+		// Scan the whole group (reads every page), then intersect.
+		matches, err := group.Scan(gf, pred, nil, skip)
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			return matches, nil
+		}
+		return intersect(cand, matches), nil
+	}
+	// Probe: one page access per candidate.
+	return group.Probe(gf, pred, cand, nil)
+}
+
+// compile turns a predicate into a value filter for SSCG evaluation.
+func (e *Executor) compile(p Predicate) (func(value.Value) bool, error) {
+	typ := e.tbl.Schema().Field(p.Column).Type
+	if p.Value.Type() != typ {
+		return nil, fmt.Errorf("exec: predicate on column %d has type %s, want %s", p.Column, p.Value.Type(), typ)
+	}
+	switch p.Op {
+	case Eq:
+		v := p.Value
+		return func(x value.Value) bool { return x.Equal(v) }, nil
+	case Between:
+		if p.Hi.Type() != typ {
+			return nil, fmt.Errorf("exec: range bound on column %d has type %s, want %s", p.Column, p.Hi.Type(), typ)
+		}
+		lo, hi := p.Value, p.Hi
+		return func(x value.Value) bool { return x.Compare(lo) >= 0 && x.Compare(hi) <= 0 }, nil
+	}
+	return nil, fmt.Errorf("exec: unknown operator %d", p.Op)
+}
+
+// runDelta evaluates predicates over the delta partition.
+func (e *Executor) runDelta(preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID) ([]uint32, error) {
+	d := e.tbl.Delta()
+	if d.Rows() == 0 {
+		return nil, nil
+	}
+	if len(preds) == 0 {
+		rows := d.VisibleRows(snapshot, self)
+		out := make([]uint32, len(rows))
+		for i, r := range rows {
+			out[i] = uint32(r)
+		}
+		return out, nil
+	}
+	var cand []uint32
+	for i, p := range preds {
+		if i == 0 {
+			var err error
+			switch p.Op {
+			case Eq:
+				cand, err = d.ScanEqual(p.Column, p.Value, snapshot, self, nil)
+			default:
+				cand, err = d.ScanRange(p.Column, p.Value, p.Hi, snapshot, self, nil)
+			}
+			if err != nil {
+				return nil, err
+			}
+			e.chargeTouches(20 + len(cand))
+		} else {
+			pred, err := e.compile(p)
+			if err != nil {
+				return nil, err
+			}
+			out := cand[:0]
+			for _, pos := range cand {
+				v, err := d.Get(int(pos), p.Column)
+				if err != nil {
+					return nil, err
+				}
+				if pred(v) {
+					out = append(out, pos)
+				}
+			}
+			cand = out
+			e.chargeTouches(len(cand))
+		}
+		if len(cand) == 0 {
+			return nil, nil
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
+	return cand, nil
+}
+
+// materialize fills res.Rows with the projected columns of each
+// qualifying row. For main-partition rows with SSCG-placed projections,
+// one group page access delivers all grouped attributes of a row.
+func (e *Executor) materialize(res *Result, project []int) error {
+	mainRows := uint64(e.tbl.MainRows())
+	group := e.tbl.Group()
+	needGroup := false
+	for _, c := range project {
+		if e.tbl.GroupField(c) >= 0 {
+			needGroup = true
+		}
+	}
+	res.Rows = make([][]value.Value, len(res.IDs))
+	for i, id := range res.IDs {
+		row := make([]value.Value, len(project))
+		var groupRow []value.Value
+		if id < mainRows && needGroup && group != nil {
+			var err error
+			groupRow, err = group.ReadRow(int(id))
+			if err != nil {
+				return err
+			}
+		}
+		for j, c := range project {
+			if id < mainRows {
+				if gf := e.tbl.GroupField(c); gf >= 0 && groupRow != nil {
+					row[j] = groupRow[gf]
+					continue
+				}
+				e.chargeTouches(2) // value vector + dictionary
+			}
+			v, err := e.tbl.GetValue(id, c)
+			if err != nil {
+				return err
+			}
+			row[j] = v
+		}
+		res.Rows[i] = row
+	}
+	return nil
+}
+
+// intersect returns the sorted intersection of two ascending position
+// lists.
+func intersect(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

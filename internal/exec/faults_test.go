@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"tierdb/internal/schema"
+	"tierdb/internal/storage"
+	"tierdb/internal/table"
+	"tierdb/internal/value"
+)
+
+// TestReadFaultSurfacesThroughExecutor verifies that an injected device
+// fault during a tiered scan propagates as an error (never as a wrong
+// result) and that the executor recovers once the device does.
+func TestReadFaultSurfacesThroughExecutor(t *testing.T) {
+	fs := storage.NewFaultStore(storage.NewMemStore())
+	s := schema.MustNew([]schema.Field{
+		{Name: "id", Type: value.Int64},
+		{Name: "a", Type: value.Int64},
+	})
+	tbl, err := table.New("faulty", s, table.Options{Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]value.Value, 500)
+	for i := range rows {
+		rows[i] = []value.Value{value.NewInt(int64(i)), value.NewInt(int64(i % 10))}
+	}
+	if err := tbl.BulkAppend(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.ApplyLayout([]bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	e := New(tbl, Options{})
+	q := Query{Predicates: []Predicate{{Column: 1, Op: Eq, Value: value.NewInt(3)}}}
+
+	fs.FailReadAfter(1, true)
+	if _, err := e.Run(q, nil); !errors.Is(err, storage.ErrInjected) {
+		t.Errorf("tiered scan under sticky fault: %v", err)
+	}
+	fs.Disarm()
+	res, err := e.Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 50 {
+		t.Errorf("post-fault scan found %d rows, want 50", len(res.IDs))
+	}
+}

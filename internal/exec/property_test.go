@@ -1,0 +1,161 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tierdb/internal/schema"
+	"tierdb/internal/table"
+	"tierdb/internal/value"
+)
+
+// TestRandomQueriesMatchBruteForce is the executor's main property
+// test: random tables, random layouts, random conjunctive queries —
+// results must always equal the row-by-row evaluation, regardless of
+// predicate ordering, scan/probe switching, or tiering.
+func TestRandomQueriesMatchBruteForce(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		cols := 2 + rng.Intn(5)
+		rows := 100 + rng.Intn(2000)
+
+		fields := make([]schema.Field, cols)
+		for i := range fields {
+			fields[i] = schema.Field{Name: fmt.Sprintf("c%d", i), Type: value.Int64}
+		}
+		tbl, err := table.New("prop", schema.MustNew(fields), table.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		domains := make([]int, cols)
+		for i := range domains {
+			domains[i] = 1 + rng.Intn(50)
+		}
+		data := make([][]value.Value, rows)
+		for r := range data {
+			row := make([]value.Value, cols)
+			for c := range row {
+				row[c] = value.NewInt(int64(rng.Intn(domains[c])))
+			}
+			data[r] = row
+		}
+		if err := tbl.BulkAppend(data); err != nil {
+			t.Fatal(err)
+		}
+		layout := make([]bool, cols)
+		anyDRAM := false
+		for i := range layout {
+			layout[i] = rng.Intn(2) == 0
+			anyDRAM = anyDRAM || layout[i]
+		}
+		if !anyDRAM {
+			layout[0] = true
+		}
+		if err := tbl.ApplyLayout(layout); err != nil {
+			t.Fatal(err)
+		}
+		// Sometimes add an index and some delta rows.
+		if rng.Intn(2) == 0 {
+			if err := tbl.CreateIndex(rng.Intn(cols)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			mgr := tbl.Manager()
+			for j := 0; j < rng.Intn(50); j++ {
+				tx := mgr.Begin()
+				row := make([]value.Value, cols)
+				for c := range row {
+					row[c] = value.NewInt(int64(rng.Intn(domains[c])))
+				}
+				if err := tbl.Insert(tx, row); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := mgr.Commit(tx); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		e := New(tbl, Options{ProbeThreshold: []float64{1, 0.01, DefaultProbeThreshold}[rng.Intn(3)]})
+		for q := 0; q < 10; q++ {
+			nPreds := 1 + rng.Intn(3)
+			preds := make([]Predicate, nPreds)
+			for i := range preds {
+				col := rng.Intn(cols)
+				if rng.Intn(2) == 0 {
+					preds[i] = Predicate{Column: col, Op: Eq, Value: value.NewInt(int64(rng.Intn(domains[col])))}
+				} else {
+					lo := int64(rng.Intn(domains[col]))
+					hi := lo + int64(rng.Intn(10))
+					preds[i] = Predicate{Column: col, Op: Between, Value: value.NewInt(lo), Hi: value.NewInt(hi)}
+				}
+			}
+			res, err := e.Run(Query{Predicates: preds}, nil)
+			if err != nil {
+				t.Fatalf("trial %d query %d: %v", trial, q, err)
+			}
+			want := bruteForce(t, tbl, Query{Predicates: preds})
+			if !sameIDs(res.IDs, want) {
+				t.Fatalf("trial %d query %d (layout %v, preds %+v): got %d rows, want %d",
+					trial, q, layout, preds, len(res.IDs), len(want))
+			}
+		}
+	}
+}
+
+// TestConcurrentReadersAndWriters exercises snapshot isolation under
+// parallel load: with an insert-only workload, the count of visible
+// matching rows must never shrink across a reader's successive queries.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	tbl, _ := newTable(t, 500, nil)
+	e := New(tbl, Options{})
+	mgr := tbl.Manager()
+	var wg sync.WaitGroup
+
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tx := mgr.Begin()
+				err := tbl.Insert(tx, []value.Value{
+					value.NewInt(int64(10000 + w*1000 + i)),
+					value.NewInt(3), value.NewInt(3), value.NewInt(3),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := mgr.Commit(tx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := -1
+			for i := 0; i < 100; i++ {
+				res, err := e.Run(Query{Predicates: []Predicate{
+					{Column: 1, Op: Eq, Value: value.NewInt(3)},
+				}}, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(res.IDs) < prev {
+					t.Errorf("visible count shrank: %d -> %d", prev, len(res.IDs))
+					return
+				}
+				prev = len(res.IDs)
+			}
+		}()
+	}
+	wg.Wait()
+}

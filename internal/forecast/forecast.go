@@ -1,0 +1,156 @@
+// Package forecast implements the workload-prediction extension the
+// paper sketches as future work (Section VI): query frequencies are
+// tracked over moving time windows, per-plan frequency series are
+// extrapolated with exponential smoothing (optionally with a Holt
+// linear trend), and the predicted frequencies feed the column
+// selection model to compute placements for *anticipated* workloads
+// instead of historical ones.
+package forecast
+
+import (
+	"errors"
+	"fmt"
+
+	"tierdb/internal/core"
+)
+
+// Series is a per-window frequency history of one plan, oldest first.
+type Series []float64
+
+// SES extrapolates the next value with simple exponential smoothing:
+// level_t = alpha*x_t + (1-alpha)*level_{t-1}. alpha in (0,1].
+func SES(s Series, alpha float64) (float64, error) {
+	if len(s) == 0 {
+		return 0, errors.New("forecast: empty series")
+	}
+	if alpha <= 0 || alpha > 1 {
+		return 0, fmt.Errorf("forecast: alpha %g outside (0,1]", alpha)
+	}
+	level := s[0]
+	for _, x := range s[1:] {
+		level = alpha*x + (1-alpha)*level
+	}
+	return level, nil
+}
+
+// Holt extrapolates `horizon` windows ahead with Holt's linear-trend
+// double exponential smoothing. alpha smooths the level, beta the
+// trend; both in (0,1]. Negative forecasts clamp to zero (frequencies
+// cannot be negative).
+func Holt(s Series, alpha, beta float64, horizon int) (float64, error) {
+	if len(s) == 0 {
+		return 0, errors.New("forecast: empty series")
+	}
+	if alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 {
+		return 0, fmt.Errorf("forecast: alpha %g / beta %g outside (0,1]", alpha, beta)
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	level := s[0]
+	trend := s[1] - s[0]
+	for _, x := range s[1:] {
+		prevLevel := level
+		level = alpha*x + (1-alpha)*(level+trend)
+		trend = beta*(level-prevLevel) + (1-beta)*trend
+	}
+	f := level + float64(horizon)*trend
+	if f < 0 {
+		f = 0
+	}
+	return f, nil
+}
+
+// Method selects the extrapolation model.
+type Method int
+
+const (
+	// MethodSES uses simple exponential smoothing (stable workloads).
+	MethodSES Method = iota
+	// MethodHolt adds a linear trend (growing or shrinking plans).
+	MethodHolt
+	// MethodLastWindow uses the most recent window verbatim (the
+	// paper's moving-window baseline without prediction).
+	MethodLastWindow
+	// MethodMean uses the arithmetic mean of all windows.
+	MethodMean
+)
+
+// Options tunes Predict.
+type Options struct {
+	// Method selects the model; default MethodHolt.
+	Method Method
+	// Alpha is the level smoothing factor (default 0.5).
+	Alpha float64
+	// Beta is the trend smoothing factor (default 0.3, Holt only).
+	Beta float64
+	// Horizon is how many windows ahead to predict (default 1).
+	Horizon int
+}
+
+func (o *Options) setDefaults() {
+	if o.Alpha == 0 {
+		o.Alpha = 0.5
+	}
+	if o.Beta == 0 {
+		o.Beta = 0.3
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 1
+	}
+}
+
+// Predict extrapolates one plan series.
+func Predict(s Series, opts Options) (float64, error) {
+	opts.setDefaults()
+	switch opts.Method {
+	case MethodSES:
+		return SES(s, opts.Alpha)
+	case MethodHolt:
+		return Holt(s, opts.Alpha, opts.Beta, opts.Horizon)
+	case MethodLastWindow:
+		if len(s) == 0 {
+			return 0, errors.New("forecast: empty series")
+		}
+		return s[len(s)-1], nil
+	case MethodMean:
+		if len(s) == 0 {
+			return 0, errors.New("forecast: empty series")
+		}
+		var sum float64
+		for _, x := range s {
+			sum += x
+		}
+		return sum / float64(len(s)), nil
+	default:
+		return 0, fmt.Errorf("forecast: unknown method %d", int(opts.Method))
+	}
+}
+
+// PredictWorkload builds the anticipated workload: columns are taken
+// from the template, and each query's frequency is the extrapolation of
+// its per-window series. series[i] must align with template.Queries[i];
+// plans absent from a window carry frequency 0 there.
+func PredictWorkload(template *core.Workload, series []Series, opts Options) (*core.Workload, error) {
+	if len(series) != len(template.Queries) {
+		return nil, fmt.Errorf("forecast: %d series for %d queries", len(series), len(template.Queries))
+	}
+	out := &core.Workload{
+		Columns: append([]core.Column(nil), template.Columns...),
+		Queries: make([]core.Query, len(template.Queries)),
+	}
+	for i, q := range template.Queries {
+		f, err := Predict(series[i], opts)
+		if err != nil {
+			return nil, fmt.Errorf("forecast: query %d: %w", i, err)
+		}
+		out.Queries[i] = core.Query{Columns: append([]int(nil), q.Columns...), Frequency: f}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("forecast: predicted workload invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tierdb/internal/core"
+)
+
+func TestSESConstantSeries(t *testing.T) {
+	got, err := SES(Series{10, 10, 10, 10}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("SES(constant) = %g, want 10", got)
+	}
+}
+
+func TestSESWeightsRecentValues(t *testing.T) {
+	rising, _ := SES(Series{0, 0, 0, 100}, 0.8)
+	if rising < 50 {
+		t.Errorf("SES after jump = %g, want > 50", rising)
+	}
+	stale, _ := SES(Series{100, 0, 0, 0}, 0.8)
+	if stale > 10 {
+		t.Errorf("SES after decay = %g, want < 10", stale)
+	}
+}
+
+func TestSESErrors(t *testing.T) {
+	if _, err := SES(nil, 0.5); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := SES(Series{1}, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := SES(Series{1}, 1.5); err == nil {
+		t.Error("alpha>1 accepted")
+	}
+}
+
+func TestHoltExtrapolatesTrend(t *testing.T) {
+	// Perfectly linear series: forecast continues the line.
+	got, err := Holt(Series{10, 20, 30, 40}, 0.9, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-50) > 2 {
+		t.Errorf("Holt(linear, h=1) = %g, want ~50", got)
+	}
+	got, _ = Holt(Series{10, 20, 30, 40}, 0.9, 0.9, 3)
+	if math.Abs(got-70) > 5 {
+		t.Errorf("Holt(linear, h=3) = %g, want ~70", got)
+	}
+}
+
+func TestHoltClampsNegative(t *testing.T) {
+	got, err := Holt(Series{100, 60, 20}, 0.9, 0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 {
+		t.Errorf("Holt forecast negative: %g", got)
+	}
+}
+
+func TestHoltSingleValue(t *testing.T) {
+	got, err := Holt(Series{7}, 0.5, 0.5, 1)
+	if err != nil || got != 7 {
+		t.Errorf("Holt(single) = %g, %v", got, err)
+	}
+}
+
+func TestHoltErrors(t *testing.T) {
+	if _, err := Holt(nil, 0.5, 0.5, 1); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := Holt(Series{1, 2}, 0, 0.5, 1); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := Holt(Series{1, 2}, 0.5, 2, 1); err == nil {
+		t.Error("beta>1 accepted")
+	}
+}
+
+func TestPredictMethods(t *testing.T) {
+	s := Series{10, 20, 30}
+	cases := []struct {
+		m    Method
+		want float64
+		tol  float64
+	}{
+		{MethodLastWindow, 30, 0},
+		{MethodMean, 20, 0},
+	}
+	for _, c := range cases {
+		got, err := Predict(s, Options{Method: c.m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("Predict(%d) = %g, want %g", c.m, got, c.want)
+		}
+	}
+	if _, err := Predict(s, Options{Method: Method(99)}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, err := Predict(nil, Options{Method: MethodLastWindow}); err == nil {
+		t.Error("empty series accepted for last-window")
+	}
+	if _, err := Predict(nil, Options{Method: MethodMean}); err == nil {
+		t.Error("empty series accepted for mean")
+	}
+}
+
+func TestPredictWorkload(t *testing.T) {
+	template := &core.Workload{
+		Columns: []core.Column{
+			{Name: "a", Size: 100, Selectivity: 0.1},
+			{Name: "b", Size: 100, Selectivity: 0.5},
+		},
+		Queries: []core.Query{
+			{Columns: []int{0}, Frequency: 1},
+			{Columns: []int{0, 1}, Frequency: 1},
+		},
+	}
+	series := []Series{
+		{100, 80, 60, 40}, // shrinking plan
+		{10, 20, 30, 40},  // growing plan
+	}
+	w, err := PredictWorkload(template, series, Options{Method: MethodHolt, Alpha: 0.9, Beta: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 2 {
+		t.Fatalf("queries = %d", len(w.Queries))
+	}
+	if w.Queries[0].Frequency >= 40 {
+		t.Errorf("shrinking plan forecast = %g, want < 40", w.Queries[0].Frequency)
+	}
+	if w.Queries[1].Frequency <= 40 {
+		t.Errorf("growing plan forecast = %g, want > 40", w.Queries[1].Frequency)
+	}
+	// The template must not be mutated.
+	if template.Queries[0].Frequency != 1 {
+		t.Error("template mutated")
+	}
+}
+
+func TestPredictWorkloadErrors(t *testing.T) {
+	template := &core.Workload{
+		Columns: []core.Column{{Name: "a", Size: 100, Selectivity: 0.1}},
+		Queries: []core.Query{{Columns: []int{0}, Frequency: 1}},
+	}
+	if _, err := PredictWorkload(template, nil, Options{}); err == nil {
+		t.Error("mismatched series count accepted")
+	}
+	if _, err := PredictWorkload(template, []Series{nil}, Options{}); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+// Property: SES output always lies within the series' min/max range.
+func TestSESBoundedProperty(t *testing.T) {
+	prop := func(raw []float64, alphaRaw float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make(Series, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, x := range raw {
+			v := math.Abs(math.Mod(x, 1000))
+			if math.IsNaN(v) {
+				v = 0
+			}
+			s[i] = v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		alpha := math.Abs(math.Mod(alphaRaw, 1))
+		if alpha == 0 {
+			alpha = 0.5
+		}
+		got, err := SES(s, alpha)
+		if err != nil {
+			return false
+		}
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package mvcc implements the multi-version concurrency control scheme
+// the engine uses for ACID compliance (paper Section II, cf. Hyrise's
+// MVCC): every row carries begin/end commit timestamps, transactions
+// read a snapshot, writes are provisional until commit, and write-write
+// conflicts abort. MVCC columns always stay DRAM-resident (Section IV,
+// "Transaction Handling"), which is why tiering does not impact
+// transactional performance.
+package mvcc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Timestamp is a commit timestamp. Snapshot isolation: a transaction
+// sees all versions committed at or before its snapshot.
+type Timestamp = uint64
+
+// TxID identifies a transaction.
+type TxID = uint64
+
+// Infinity marks a version that has not been deleted.
+const Infinity Timestamp = math.MaxUint64
+
+// ErrWriteConflict is returned when two transactions try to delete or
+// update the same row.
+var ErrWriteConflict = errors.New("mvcc: write-write conflict")
+
+// ErrTxFinished is returned when operating on a committed or aborted
+// transaction.
+var ErrTxFinished = errors.New("mvcc: transaction already finished")
+
+// Status is a transaction's lifecycle state.
+type Status int
+
+const (
+	// Active transactions can read and write.
+	Active Status = iota
+	// Committed transactions have published their writes.
+	Committed
+	// Aborted transactions have rolled their writes back.
+	Aborted
+)
+
+// Tx is one transaction handle.
+type Tx struct {
+	id       TxID
+	snapshot Timestamp
+	status   Status
+	mgr      *Manager
+	// onCommit callbacks stamp pending rows with the commit timestamp;
+	// onAbort callbacks roll provisional state back.
+	onCommit []func(ts Timestamp)
+	onAbort  []func()
+}
+
+// ID returns the transaction id.
+func (t *Tx) ID() TxID { return t.id }
+
+// Snapshot returns the snapshot timestamp the transaction reads at.
+func (t *Tx) Snapshot() Timestamp { return t.snapshot }
+
+// Status returns the lifecycle state.
+func (t *Tx) Status() Status { return t.status }
+
+// OnCommit registers a callback run with the commit timestamp.
+func (t *Tx) OnCommit(fn func(ts Timestamp)) { t.onCommit = append(t.onCommit, fn) }
+
+// OnAbort registers a rollback callback.
+func (t *Tx) OnAbort(fn func()) { t.onAbort = append(t.onAbort, fn) }
+
+// Manager hands out transactions and commit timestamps.
+type Manager struct {
+	mu         sync.Mutex
+	lastCommit Timestamp
+	nextTx     TxID
+}
+
+// NewManager returns a manager; timestamp 0 is "before all data", so
+// freshly loaded (non-transactional) data is stamped with timestamp 1.
+func NewManager() *Manager {
+	return &Manager{lastCommit: 1, nextTx: 1}
+}
+
+// Begin starts a transaction reading the latest committed snapshot.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tx := &Tx{id: m.nextTx, snapshot: m.lastCommit, mgr: m}
+	m.nextTx++
+	return tx
+}
+
+// LastCommit returns the newest commit timestamp (the snapshot new
+// transactions will read).
+func (m *Manager) LastCommit() Timestamp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastCommit
+}
+
+// Commit assigns the next commit timestamp and publishes the
+// transaction's writes.
+func (m *Manager) Commit(t *Tx) (Timestamp, error) {
+	if t.status != Active {
+		return 0, ErrTxFinished
+	}
+	m.mu.Lock()
+	m.lastCommit++
+	ts := m.lastCommit
+	m.mu.Unlock()
+	for _, fn := range t.onCommit {
+		fn(ts)
+	}
+	t.status = Committed
+	return ts, nil
+}
+
+// Abort rolls the transaction's provisional writes back.
+func (m *Manager) Abort(t *Tx) error {
+	if t.status != Active {
+		return ErrTxFinished
+	}
+	for i := len(t.onAbort) - 1; i >= 0; i-- {
+		t.onAbort[i]()
+	}
+	t.status = Aborted
+	return nil
+}
+
+// Versions stores the begin/end timestamp vectors of one partition's
+// rows plus provisional write ownership. All methods are safe for
+// concurrent use.
+type Versions struct {
+	mu     sync.RWMutex
+	begin  []Timestamp // 0 while the inserting tx is uncommitted
+	end    []Timestamp // Infinity while live
+	owner  []TxID      // inserting tx while the insert is provisional
+	intent []TxID      // tx holding a provisional delete intent
+}
+
+// NewVersions returns an empty version store.
+func NewVersions() *Versions { return &Versions{} }
+
+// Len returns the number of rows tracked.
+func (v *Versions) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.begin)
+}
+
+// AppendCommitted adds a row that is immediately visible from ts on
+// (bulk loads, merge output).
+func (v *Versions) AppendCommitted(ts Timestamp) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.begin = append(v.begin, ts)
+	v.end = append(v.end, Infinity)
+	v.owner = append(v.owner, 0)
+	v.intent = append(v.intent, 0)
+	return len(v.begin) - 1
+}
+
+// AppendPending adds a provisional row owned by tx; it becomes visible
+// to others only after CommitInsert.
+func (v *Versions) AppendPending(tx TxID) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.begin = append(v.begin, 0)
+	v.end = append(v.end, Infinity)
+	v.owner = append(v.owner, tx)
+	v.intent = append(v.intent, 0)
+	return len(v.begin) - 1
+}
+
+// CommitInsert publishes a pending row at commit timestamp ts.
+func (v *Versions) CommitInsert(row int, ts Timestamp) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.begin[row] = ts
+	v.owner[row] = 0
+}
+
+// AbortInsert invalidates a pending row (it stays allocated but is
+// never visible).
+func (v *Versions) AbortInsert(row int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.begin[row] = Infinity
+	v.end[row] = 0
+	v.owner[row] = 0
+}
+
+// MarkDelete acquires the row's write intent for tx. It fails with
+// ErrWriteConflict if another transaction holds the intent or the row is
+// already deleted.
+func (v *Versions) MarkDelete(row int, tx TxID) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if row < 0 || row >= len(v.begin) {
+		return fmt.Errorf("mvcc: row %d out of range (%d rows)", row, len(v.begin))
+	}
+	if v.intent[row] != 0 && v.intent[row] != tx {
+		return ErrWriteConflict
+	}
+	if v.owner[row] != 0 && v.owner[row] != tx {
+		// Another transaction's provisional insert cannot be deleted.
+		return ErrWriteConflict
+	}
+	if v.end[row] != Infinity {
+		return ErrWriteConflict
+	}
+	v.intent[row] = tx
+	return nil
+}
+
+// CommitDelete finalizes a delete intent at commit timestamp ts.
+func (v *Versions) CommitDelete(row int, ts Timestamp) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.end[row] = ts
+	v.intent[row] = 0
+}
+
+// AbortDelete releases a delete intent.
+func (v *Versions) AbortDelete(row int, tx TxID) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.intent[row] == tx {
+		v.intent[row] = 0
+	}
+}
+
+// Visible reports whether row is visible to a reader with the given
+// snapshot and transaction id (a transaction sees its own provisional
+// writes; self may be 0 for non-transactional readers).
+func (v *Versions) Visible(row int, snapshot Timestamp, self TxID) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if row < 0 || row >= len(v.begin) {
+		return false
+	}
+	begin, end := v.begin[row], v.end[row]
+	owner, intent := v.owner[row], v.intent[row]
+	// A pending delete intent by self hides the row from self.
+	if self != 0 && intent == self {
+		return false
+	}
+	if begin == 0 { // provisional insert
+		return self != 0 && owner == self
+	}
+	if begin == Infinity { // aborted insert
+		return false
+	}
+	if begin > snapshot {
+		return false
+	}
+	return end > snapshot
+}
+
+// LiveAt returns how many rows are visible at the given snapshot for a
+// non-transactional reader.
+func (v *Versions) LiveAt(snapshot Timestamp) int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	n := 0
+	for i := range v.begin {
+		if v.begin[i] != 0 && v.begin[i] <= snapshot && v.end[i] > snapshot {
+			n++
+		}
+	}
+	return n
+}
+
+// Bytes returns the DRAM footprint of the version vectors (always
+// DRAM-resident, per the paper's transaction-handling design).
+func (v *Versions) Bytes() int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return int64(len(v.begin)) * (8 + 8 + 8 + 8)
+}

@@ -1,0 +1,359 @@
+// Package persist implements table snapshots: a durable, versioned
+// binary format holding a table's schema, its column layout (which
+// attributes are MRCs vs SSCG-placed) and all visible rows, plus the
+// index definitions to rebuild. One of the paper's motivations for
+// smaller DRAM footprints is reduced recovery times — after a restart
+// only the MRC share of a snapshot must be decoded back into DRAM
+// structures, while SSCG pages rebuild on cheap secondary storage.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"tierdb/internal/schema"
+	"tierdb/internal/table"
+	"tierdb/internal/value"
+)
+
+// magic identifies snapshot files; the trailing digits version the
+// format.
+var magic = []byte("TIERDB01")
+
+// ErrBadSnapshot is returned for corrupt or foreign files.
+var ErrBadSnapshot = errors.New("persist: not a tierdb snapshot")
+
+// Save writes a snapshot of the table's visible rows at the latest
+// commit, together with schema, layout and index definitions.
+func Save(w io.Writer, tbl *table.Table) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	if err := writeString(bw, tbl.Name()); err != nil {
+		return err
+	}
+	s := tbl.Schema()
+	if err := writeUvarint(bw, uint64(s.Len())); err != nil {
+		return err
+	}
+	for i := 0; i < s.Len(); i++ {
+		f := s.Field(i)
+		if err := writeString(bw, f.Name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(f.Type)); err != nil {
+			return err
+		}
+		if err := writeUvarint(bw, uint64(f.Width)); err != nil {
+			return err
+		}
+	}
+	layout := tbl.Layout()
+	for _, in := range layout {
+		b := byte(0)
+		if in {
+			b = 1
+		}
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+	}
+
+	// Index definitions.
+	singles := make([]int, 0)
+	for c := 0; c < s.Len(); c++ {
+		if tbl.Index(c) != nil {
+			singles = append(singles, c)
+		}
+	}
+	if err := writeUvarint(bw, uint64(len(singles))); err != nil {
+		return err
+	}
+	for _, c := range singles {
+		if err := writeUvarint(bw, uint64(c)); err != nil {
+			return err
+		}
+	}
+	composites := tbl.CompositeIndexes()
+	if err := writeUvarint(bw, uint64(len(composites))); err != nil {
+		return err
+	}
+	for _, cols := range composites {
+		if err := writeUvarint(bw, uint64(len(cols))); err != nil {
+			return err
+		}
+		for _, c := range cols {
+			if err := writeUvarint(bw, uint64(c)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Rows: visible main-partition rows then visible delta rows.
+	snapshot := tbl.Manager().LastCommit()
+	var rows [][]value.Value
+	for r := 0; r < tbl.MainRows(); r++ {
+		if !tbl.MainVersions().Visible(r, snapshot, 0) {
+			continue
+		}
+		tuple, err := tbl.GetTuple(uint64(r))
+		if err != nil {
+			return fmt.Errorf("persist: read main row %d: %w", r, err)
+		}
+		rows = append(rows, tuple)
+	}
+	for _, pos := range tbl.Delta().VisibleRows(snapshot, 0) {
+		tuple, err := tbl.Delta().GetRow(pos)
+		if err != nil {
+			return fmt.Errorf("persist: read delta row %d: %w", pos, err)
+		}
+		rows = append(rows, tuple)
+	}
+	if err := writeUvarint(bw, uint64(len(rows))); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		for _, v := range row {
+			if err := writeValue(bw, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores a snapshot into a fresh table using the given storage
+// options, reapplying the saved layout and rebuilding indexes.
+func Load(r io.Reader, opts table.Options) (*table.Table, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if string(head) != string(magic) {
+		return nil, ErrBadSnapshot
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	nFields, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	fields := make([]schema.Field, nFields)
+	for i := range fields {
+		fname, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		typ, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		width, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		fields[i] = schema.Field{Name: fname, Type: value.Type(typ), Width: int(width)}
+	}
+	s, err := schema.New(fields)
+	if err != nil {
+		return nil, fmt.Errorf("persist: snapshot schema: %w", err)
+	}
+	layout := make([]bool, nFields)
+	for i := range layout {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		layout[i] = b == 1
+	}
+
+	nSingles, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	singles := make([]int, nSingles)
+	for i := range singles {
+		c, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		singles[i] = int(c)
+	}
+	nComposites, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	composites := make([][]int, nComposites)
+	for i := range composites {
+		n, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]int, n)
+		for j := range cols {
+			c, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			cols[j] = int(c)
+		}
+		composites[i] = cols
+	}
+
+	nRows, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]value.Value, nRows)
+	for r := range rows {
+		row := make([]value.Value, nFields)
+		for c := range row {
+			v, err := readValue(br, fields[c].Type)
+			if err != nil {
+				return nil, fmt.Errorf("persist: row %d field %d: %w", r, c, err)
+			}
+			row[c] = v
+		}
+		rows[r] = row
+	}
+
+	tbl, err := table.New(name, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := tbl.BulkAppend(rows); err != nil {
+		return nil, err
+	}
+	if err := tbl.ApplyLayout(layout); err != nil {
+		return nil, err
+	}
+	for _, c := range singles {
+		if err := tbl.CreateIndex(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, cols := range composites {
+		if err := tbl.CreateCompositeIndex(cols); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// SaveFile snapshots to a file (atomically via a temp file + rename).
+func SaveFile(path string, tbl *table.Table) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, tbl); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores a snapshot file.
+func LoadFile(path string, opts table.Options) (*table.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, opts)
+}
+
+// --- primitive encoding ----------------------------------------------------
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("persist: string length %d implausible", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeValue(w *bufio.Writer, v value.Value) error {
+	switch v.Type() {
+	case value.Int64:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.Int()))
+		_, err := w.Write(buf[:])
+		return err
+	case value.Float64:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Float()))
+		_, err := w.Write(buf[:])
+		return err
+	case value.String:
+		return writeString(w, v.Str())
+	default:
+		return fmt.Errorf("persist: cannot encode type %s", v.Type())
+	}
+}
+
+func readValue(r *bufio.Reader, t value.Type) (value.Value, error) {
+	switch t {
+	case value.Int64:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return value.Value{}, err
+		}
+		return value.NewInt(int64(binary.LittleEndian.Uint64(buf[:]))), nil
+	case value.Float64:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return value.Value{}, err
+		}
+		return value.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case value.String:
+		s, err := readString(r)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewString(s), nil
+	default:
+		return value.Value{}, fmt.Errorf("persist: cannot decode type %s", t)
+	}
+}

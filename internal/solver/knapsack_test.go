@@ -1,0 +1,208 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bruteForce(items []Item, capacity int64) float64 {
+	best := math.Inf(-1)
+	n := len(items)
+	for mask := 0; mask < 1<<n; mask++ {
+		var wgt int64
+		var val float64
+		ok := true
+		for i := 0; i < n; i++ {
+			taken := mask&(1<<i) != 0
+			if items[i].Mandatory && !taken {
+				ok = false
+				break
+			}
+			if taken {
+				wgt += items[i].Weight
+				val += items[i].Value
+			}
+		}
+		if ok && wgt <= capacity && val > best {
+			best = val
+		}
+	}
+	return best
+}
+
+func randomItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Value:  rng.Float64()*20 - 2, // some negative values
+			Weight: int64(rng.Intn(50) + 1),
+		}
+	}
+	return items
+}
+
+func TestKnapsackMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(12) + 1
+		items := randomItems(rng, n)
+		capacity := int64(rng.Intn(200))
+		want := bruteForce(items, capacity)
+		got, err := Knapsack01(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Value-want) > 1e-9 {
+			t.Fatalf("trial %d: B&B value %g, brute force %g (items=%v cap=%d)", trial, got.Value, want, items, capacity)
+		}
+		if got.Weight > capacity {
+			t.Fatalf("trial %d: weight %d exceeds capacity %d", trial, got.Weight, capacity)
+		}
+		// The reported take vector must reproduce the reported value.
+		var val float64
+		var wgt int64
+		for i, taken := range got.Take {
+			if taken {
+				val += items[i].Value
+				wgt += items[i].Weight
+			}
+		}
+		if math.Abs(val-got.Value) > 1e-9 || wgt != got.Weight {
+			t.Fatalf("trial %d: take vector inconsistent: %g/%d vs %g/%d", trial, val, wgt, got.Value, got.Weight)
+		}
+	}
+}
+
+func TestKnapsackDPMatchesBranchAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(20) + 1
+		items := randomItems(rng, n)
+		capacity := int64(rng.Intn(300))
+		bb, err := Knapsack01(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := KnapsackDP(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(bb.Value-dp.Value) > 1e-9 {
+			t.Fatalf("trial %d: B&B %g vs DP %g", trial, bb.Value, dp.Value)
+		}
+	}
+}
+
+func TestKnapsackMandatoryItems(t *testing.T) {
+	items := []Item{
+		{Value: 1, Weight: 10, Mandatory: true},
+		{Value: 100, Weight: 10},
+		{Value: 50, Weight: 5},
+	}
+	res, err := Knapsack01(items, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Take[0] {
+		t.Error("mandatory item not taken")
+	}
+	// Remaining capacity 6 fits only the weight-5 item.
+	if res.Take[1] || !res.Take[2] {
+		t.Errorf("take = %v, want [true false true]", res.Take)
+	}
+	if res.Value != 51 {
+		t.Errorf("value = %g, want 51", res.Value)
+	}
+}
+
+func TestKnapsackMandatoryExceedsCapacity(t *testing.T) {
+	items := []Item{{Value: 1, Weight: 10, Mandatory: true}}
+	if _, err := Knapsack01(items, 5); err != ErrBudgetExceeded {
+		t.Errorf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if _, err := KnapsackDP(items, 5); err != ErrBudgetExceeded {
+		t.Errorf("DP err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestKnapsackNegativeValueNeverTaken(t *testing.T) {
+	items := []Item{
+		{Value: -5, Weight: 1},
+		{Value: 3, Weight: 1},
+	}
+	res, err := Knapsack01(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Take[0] {
+		t.Error("negative-value item taken")
+	}
+	if res.Value != 3 {
+		t.Errorf("value = %g, want 3", res.Value)
+	}
+}
+
+func TestKnapsackRejectsNegativeWeight(t *testing.T) {
+	if _, err := Knapsack01([]Item{{Value: 1, Weight: -1}}, 10); err == nil {
+		t.Error("accepted negative weight")
+	}
+	if _, err := KnapsackDP([]Item{{Value: 1, Weight: -1}}, 10); err == nil {
+		t.Error("DP accepted negative weight")
+	}
+}
+
+func TestKnapsackEmptyAndZeroCapacity(t *testing.T) {
+	res, err := Knapsack01(nil, 100)
+	if err != nil || res.Value != 0 || res.Weight != 0 {
+		t.Errorf("empty instance: %v %v", res, err)
+	}
+	res, err = Knapsack01([]Item{{Value: 5, Weight: 1}}, 0)
+	if err != nil || res.Value != 0 {
+		t.Errorf("zero capacity: %v %v", res, err)
+	}
+}
+
+func TestKnapsackZeroWeightPositiveValueAlwaysTaken(t *testing.T) {
+	res, err := Knapsack01([]Item{{Value: 5, Weight: 0}, {Value: 2, Weight: 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Take[0] || res.Take[1] {
+		t.Errorf("take = %v, want [true false]", res.Take)
+	}
+}
+
+// Property: the B&B solution is never worse than a random feasible
+// subset.
+func TestKnapsackDominatesRandomSubsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(15) + 1
+		items := randomItems(r, n)
+		capacity := int64(r.Intn(200))
+		res, err := Knapsack01(items, capacity)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 50; trial++ {
+			var wgt int64
+			var val float64
+			for i := range items {
+				if rng.Intn(2) == 0 {
+					wgt += items[i].Weight
+					val += items[i].Value
+				}
+			}
+			if wgt <= capacity && val > res.Value+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

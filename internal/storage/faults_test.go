@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFaultStoreCountdown(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	id, _ := fs.Allocate()
+	buf := make([]byte, PageSize)
+
+	// n=2: first read succeeds, second fails, third succeeds
+	// (transient).
+	fs.FailReadAfter(2, false)
+	if err := fs.ReadPage(id, buf); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if err := fs.ReadPage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 2: %v, want ErrInjected", err)
+	}
+	if err := fs.ReadPage(id, buf); err != nil {
+		t.Fatalf("read 3: %v", err)
+	}
+	if fs.ReadsFailed() != 1 {
+		t.Errorf("ReadsFailed = %d", fs.ReadsFailed())
+	}
+}
+
+func TestFaultStoreSticky(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	id, _ := fs.Allocate()
+	buf := make([]byte, PageSize)
+	fs.FailReadAfter(1, true)
+	for i := 0; i < 3; i++ {
+		if err := fs.ReadPage(id, buf); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sticky read %d: %v", i, err)
+		}
+	}
+	fs.Disarm()
+	if err := fs.ReadPage(id, buf); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+func TestFaultStoreWrites(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	id, _ := fs.Allocate()
+	buf := make([]byte, PageSize)
+	fs.FailWriteAfter(1, false)
+	if err := fs.WritePage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write fault: %v", err)
+	}
+	if err := fs.WritePage(id, buf); err != nil {
+		t.Fatalf("write after transient: %v", err)
+	}
+	if fs.WritesFailed() != 1 {
+		t.Errorf("WritesFailed = %d", fs.WritesFailed())
+	}
+}
+
+func TestFaultStoreConcurrentExactlyOneFailure(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	id, _ := fs.Allocate()
+	fs.FailReadAfter(50, false)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, PageSize)
+			for i := 0; i < 25; i++ {
+				_ = fs.ReadPage(id, buf)
+			}
+		}()
+	}
+	wg.Wait()
+	if fs.ReadsFailed() != 1 {
+		t.Errorf("ReadsFailed = %d, want exactly 1", fs.ReadsFailed())
+	}
+}

@@ -1,0 +1,181 @@
+// Package storage provides the paged secondary-storage abstraction used
+// by SSCGs: fixed 4 KB pages addressed by PageID, with an in-memory
+// store for tests and deterministic benchmarks and a file-backed store
+// for real IO. A timed wrapper charges modeled device latencies to a
+// virtual clock, which substitutes for the paper's physical SSD/HDD/
+// 3D XPoint testbed.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed page size in bytes (the paper's 4 KB unit of
+// secondary-storage access).
+const PageSize = 4096
+
+// PageID addresses one page within a store.
+type PageID uint64
+
+// ErrPageOutOfRange is returned when a page id is not allocated.
+var ErrPageOutOfRange = errors.New("storage: page id out of range")
+
+// Store is the minimal page device interface: random page reads and
+// writes plus allocation of new pages. Implementations must be safe for
+// concurrent use.
+type Store interface {
+	// ReadPage copies page id into buf; buf must be PageSize bytes.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage copies buf (PageSize bytes) into page id.
+	WritePage(id PageID, buf []byte) error
+	// Allocate appends a zeroed page and returns its id.
+	Allocate() (PageID, error)
+	// NumPages returns the number of allocated pages.
+	NumPages() int64
+	// Close releases underlying resources.
+	Close() error
+}
+
+func checkBuf(buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("storage: buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	return nil
+}
+
+// MemStore is an in-memory page store. It is the default backend for
+// simulations: data movement is real, device timing is modeled
+// separately by the TimedStore wrapper.
+type MemStore struct {
+	mu    sync.RWMutex
+	pages [][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// ReadPage implements Store.
+func (s *MemStore) ReadPage(id PageID, buf []byte) error {
+	if err := checkBuf(buf); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.pages) {
+		return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, len(s.pages))
+	}
+	copy(buf, s.pages[id])
+	return nil
+}
+
+// WritePage implements Store.
+func (s *MemStore) WritePage(id PageID, buf []byte) error {
+	if err := checkBuf(buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.pages) {
+		return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, len(s.pages))
+	}
+	copy(s.pages[id], buf)
+	return nil
+}
+
+// Allocate implements Store.
+func (s *MemStore) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages = append(s.pages, make([]byte, PageSize))
+	return PageID(len(s.pages) - 1), nil
+}
+
+// NumPages implements Store.
+func (s *MemStore) NumPages() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.pages))
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore is a page store backed by a single file, using positional
+// reads and writes. It demonstrates the real IO path of the engine.
+type FileStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	n    int64
+	path string
+}
+
+// NewFileStore creates (or truncates) a page file at path.
+func NewFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create page file: %w", err)
+	}
+	return &FileStore{f: f, path: path}, nil
+}
+
+// ReadPage implements Store.
+func (s *FileStore) ReadPage(id PageID, buf []byte) error {
+	if err := checkBuf(buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	if int64(id) >= n {
+		return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, n)
+	}
+	if _, err := s.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage implements Store.
+func (s *FileStore) WritePage(id PageID, buf []byte) error {
+	if err := checkBuf(buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	if int64(id) >= n {
+		return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, n)
+	}
+	if _, err := s.f.WriteAt(buf, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Allocate implements Store.
+func (s *FileStore) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := PageID(s.n)
+	if err := s.f.Truncate((s.n + 1) * PageSize); err != nil {
+		return 0, fmt.Errorf("storage: grow page file: %w", err)
+	}
+	s.n++
+	return id, nil
+}
+
+// NumPages implements Store.
+func (s *FileStore) NumPages() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+// Path returns the backing file path.
+func (s *FileStore) Path() string { return s.path }

@@ -1,0 +1,142 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tierdb/internal/bptree"
+	"tierdb/internal/keyenc"
+	"tierdb/internal/value"
+)
+
+// compositeKeyName canonicalizes a column list for the index registry.
+func compositeKeyName(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// CreateCompositeIndex builds a DRAM-resident multi-column index over
+// the main partition (cf. Hyrise's composite keys, paper Section IV).
+// Keys are order-preserving byte encodings of the column tuple, stored
+// in an ordinary B+-tree; like single-column indexes, composite indexes
+// are never evicted and are rebuilt by Merge.
+func (t *Table) CreateCompositeIndex(cols []int) error {
+	if len(cols) < 2 {
+		return fmt.Errorf("table %s: composite index needs >= 2 columns, got %d", t.name, len(cols))
+	}
+	seen := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		if c < 0 || c >= t.schema.Len() {
+			return fmt.Errorf("table %s: composite index column %d out of range", t.name, c)
+		}
+		if seen[c] {
+			return fmt.Errorf("table %s: composite index repeats column %d", t.name, c)
+		}
+		seen[c] = true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.buildCompositeLocked(cols)
+}
+
+func (t *Table) buildCompositeLocked(cols []int) error {
+	tree := bptree.New(value.String)
+	key := make([]value.Value, len(cols))
+	for row := 0; row < t.mainRows; row++ {
+		for i, c := range cols {
+			v, err := t.getValueLocked(uint64(row), c)
+			if err != nil {
+				return fmt.Errorf("table %s: build composite index: %w", t.name, err)
+			}
+			key[i] = v
+		}
+		enc, err := keyenc.EncodeString(key)
+		if err != nil {
+			return fmt.Errorf("table %s: encode composite key: %w", t.name, err)
+		}
+		tree.Insert(value.NewString(enc), uint32(row))
+	}
+	if t.composites == nil {
+		t.composites = make(map[string]compositeIndex)
+	}
+	t.composites[compositeKeyName(cols)] = compositeIndex{
+		cols: append([]int(nil), cols...),
+		tree: tree,
+	}
+	return nil
+}
+
+// compositeIndex bundles the indexed columns with their tree.
+type compositeIndex struct {
+	cols []int
+	tree *bptree.Tree
+}
+
+// LookupComposite returns the main-partition rows whose column tuple
+// equals key, using the composite index over cols (which must have been
+// created). Delta rows are found by probing the delta's per-column
+// trees on the first key column and filtering.
+func (t *Table) LookupComposite(cols []int, key []value.Value, snapshot uint64, self uint64) ([]RowID, error) {
+	if len(key) != len(cols) {
+		return nil, fmt.Errorf("table %s: composite key has %d values for %d columns", t.name, len(key), len(cols))
+	}
+	t.mu.RLock()
+	idx, ok := t.composites[compositeKeyName(cols)]
+	mainRows := t.mainRows
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("table %s: no composite index on columns %v", t.name, cols)
+	}
+	enc, err := keyenc.EncodeString(key)
+	if err != nil {
+		return nil, err
+	}
+	var out []RowID
+	for _, pos := range idx.tree.Lookup(value.NewString(enc)) {
+		if t.mainVersions.Visible(int(pos), snapshot, self) {
+			out = append(out, RowID(pos))
+		}
+	}
+	// Delta side: narrow by the first column's tree, then verify the
+	// remaining columns.
+	cand, err := t.delta.ScanEqual(cols[0], key[0], snapshot, self, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, pos := range cand {
+		match := true
+		for i := 1; i < len(cols); i++ {
+			v, err := t.delta.Get(int(pos), cols[i])
+			if err != nil {
+				return nil, err
+			}
+			if !v.Equal(key[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, uint64(mainRows)+uint64(pos))
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// CompositeIndexes lists the column sets with composite indexes.
+func (t *Table) CompositeIndexes() [][]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([][]int, 0, len(t.composites))
+	for _, idx := range t.composites {
+		out = append(out, append([]int(nil), idx.cols...))
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return compositeKeyName(out[a]) < compositeKeyName(out[b])
+	})
+	return out
+}

@@ -1,0 +1,585 @@
+// Package table composes the storage substrates into the paper's tiered
+// table architecture (Section II): a read-optimized main partition whose
+// attributes are either Memory-Resident Columns (MRCs) or grouped into a
+// row-oriented Secondary-Storage Column Group (SSCG), plus a
+// DRAM-resident write-optimized delta partition. Data modifications are
+// insert-only into the delta; the delta is periodically merged into the
+// main partition. The column layout — which attributes are MRCs — is
+// decided by the column selection model and applied during merge.
+package table
+
+import (
+	"fmt"
+	"sync"
+
+	"tierdb/internal/amm"
+	"tierdb/internal/bptree"
+	"tierdb/internal/column"
+	"tierdb/internal/delta"
+	"tierdb/internal/histogram"
+	"tierdb/internal/mvcc"
+	"tierdb/internal/schema"
+	"tierdb/internal/sscg"
+	"tierdb/internal/storage"
+	"tierdb/internal/value"
+)
+
+// RowID addresses a visible row: main-partition rows occupy
+// [0, mainRows), delta rows follow at mainRows+localPos. RowIDs are
+// stable between merges only.
+type RowID = uint64
+
+// Options configures a table's storage environment.
+type Options struct {
+	// Store is the secondary storage device backing SSCGs (typically a
+	// storage.TimedStore in simulations). Defaults to an in-memory
+	// store.
+	Store storage.Store
+	// Cache is an optional AMM page cache in front of Store.
+	Cache *amm.Cache
+	// Manager supplies transactions; defaults to a fresh manager.
+	Manager *mvcc.Manager
+}
+
+// Table is a tiered HTAP table.
+type Table struct {
+	mu     sync.RWMutex
+	name   string
+	schema *schema.Schema
+	mgr    *mvcc.Manager
+	store  storage.Store
+	cache  *amm.Cache
+
+	// Main partition (immutable between merges).
+	mainRows     int
+	layout       []bool // layout[i]: column i is an MRC
+	mrcs         []*column.MRC
+	group        *sscg.Group
+	groupIdx     []int // schema column -> field index within group, -1 if MRC
+	mainVersions *mvcc.Versions
+
+	delta      *delta.Partition
+	indexes    map[int]*bptree.Tree      // main-partition indexes, always DRAM-resident
+	composites map[string]compositeIndex // multi-column indexes by canonical column list
+	distinct   []int                     // per-column distinct counts of the main partition
+	hists      []*histogram.Histogram    // per-column equi-depth histograms (may hold nils)
+}
+
+// New creates an empty table whose columns all start as MRCs.
+func New(name string, s *schema.Schema, opts Options) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("table: empty name")
+	}
+	if s == nil {
+		return nil, fmt.Errorf("table: nil schema")
+	}
+	if opts.Store == nil {
+		opts.Store = storage.NewMemStore()
+	}
+	if opts.Manager == nil {
+		opts.Manager = mvcc.NewManager()
+	}
+	layout := make([]bool, s.Len())
+	for i := range layout {
+		layout[i] = true
+	}
+	t := &Table{
+		name:         name,
+		schema:       s,
+		mgr:          opts.Manager,
+		store:        opts.Store,
+		cache:        opts.Cache,
+		layout:       layout,
+		mrcs:         make([]*column.MRC, s.Len()),
+		groupIdx:     make([]int, s.Len()),
+		mainVersions: mvcc.NewVersions(),
+		delta:        delta.New(s),
+		indexes:      make(map[int]*bptree.Tree),
+		distinct:     make([]int, s.Len()),
+	}
+	for i := range t.groupIdx {
+		t.groupIdx[i] = -1
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *schema.Schema { return t.schema }
+
+// Manager returns the table's transaction manager.
+func (t *Table) Manager() *mvcc.Manager { return t.mgr }
+
+// Delta exposes the delta partition (read-mostly; used by tests and the
+// executor).
+func (t *Table) Delta() *delta.Partition { return t.delta }
+
+// Layout returns a copy of the current column layout (true = MRC).
+func (t *Table) Layout() []bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]bool, len(t.layout))
+	copy(out, t.layout)
+	return out
+}
+
+// MainRows returns the number of main-partition rows (including
+// deleted-but-not-merged ones).
+func (t *Table) MainRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.mainRows
+}
+
+// DeltaRows returns the number of physical delta rows.
+func (t *Table) DeltaRows() int { return t.delta.Rows() }
+
+// MainVersions exposes MVCC state of the main partition.
+func (t *Table) MainVersions() *mvcc.Versions { return t.mainVersions }
+
+// Group returns the SSCG of the main partition, or nil if every column
+// is an MRC.
+func (t *Table) Group() *sscg.Group {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.group
+}
+
+// MRC returns the memory-resident column for a schema column, or nil if
+// it is SSCG-placed.
+func (t *Table) MRC(col int) *column.MRC {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if col < 0 || col >= len(t.mrcs) {
+		return nil
+	}
+	return t.mrcs[col]
+}
+
+// GroupField returns the SSCG field index of a schema column, or -1.
+func (t *Table) GroupField(col int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if col < 0 || col >= len(t.groupIdx) {
+		return -1
+	}
+	return t.groupIdx[col]
+}
+
+// Insert appends a row through tx (insert-only, into the delta).
+func (t *Table) Insert(tx *mvcc.Tx, row []value.Value) error {
+	_, err := t.delta.Insert(tx, row)
+	return err
+}
+
+// BulkAppend loads rows outside any transaction; they are immediately
+// visible. Rows land in the delta; call Merge to move them into the
+// main partition under the current layout.
+func (t *Table) BulkAppend(rows [][]value.Value) error {
+	ts := t.mgr.LastCommit()
+	for i, row := range rows {
+		if _, err := t.delta.Append(row, ts); err != nil {
+			return fmt.Errorf("table %s: bulk append row %d: %w", t.name, i, err)
+		}
+	}
+	return nil
+}
+
+// Delete marks the row deleted through tx.
+func (t *Table) Delete(tx *mvcc.Tx, id RowID) error {
+	t.mu.RLock()
+	mainRows := t.mainRows
+	t.mu.RUnlock()
+	if id < uint64(mainRows) {
+		if err := t.mainVersions.MarkDelete(int(id), tx.ID()); err != nil {
+			return err
+		}
+		row := int(id)
+		tx.OnCommit(func(ts mvcc.Timestamp) { t.mainVersions.CommitDelete(row, ts) })
+		tx.OnAbort(func() { t.mainVersions.AbortDelete(row, tx.ID()) })
+		return nil
+	}
+	return t.delta.Delete(tx, int(id-uint64(mainRows)))
+}
+
+// Update implements the insert-only update: delete the old version and
+// insert the new one in the same transaction.
+func (t *Table) Update(tx *mvcc.Tx, id RowID, row []value.Value) error {
+	if err := t.Delete(tx, id); err != nil {
+		return err
+	}
+	return t.Insert(tx, row)
+}
+
+// Visible reports whether a row id is visible at (snapshot, self).
+func (t *Table) Visible(id RowID, snapshot mvcc.Timestamp, self mvcc.TxID) bool {
+	t.mu.RLock()
+	mainRows := t.mainRows
+	t.mu.RUnlock()
+	if id < uint64(mainRows) {
+		return t.mainVersions.Visible(int(id), snapshot, self)
+	}
+	return t.delta.Versions().Visible(int(id-uint64(mainRows)), snapshot, self)
+}
+
+// GetValue materializes one cell of a visible row (no visibility check).
+func (t *Table) GetValue(id RowID, col int) (value.Value, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.getValueLocked(id, col)
+}
+
+func (t *Table) getValueLocked(id RowID, col int) (value.Value, error) {
+	if col < 0 || col >= t.schema.Len() {
+		return value.Value{}, fmt.Errorf("table %s: column %d out of range", t.name, col)
+	}
+	if id < uint64(t.mainRows) {
+		if mrc := t.mrcs[col]; mrc != nil {
+			return mrc.Get(int(id))
+		}
+		return t.group.ReadField(int(id), t.groupIdx[col])
+	}
+	return t.delta.Get(int(id-uint64(t.mainRows)), col)
+}
+
+// GetTuple reconstructs a full row: MRC attributes decode from their
+// dictionaries (two dependent DRAM accesses each); SSCG attributes
+// arrive with a single page access for the whole group.
+func (t *Table) GetTuple(id RowID) ([]value.Value, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id >= uint64(t.mainRows) {
+		return t.delta.GetRow(int(id - uint64(t.mainRows)))
+	}
+	out := make([]value.Value, t.schema.Len())
+	if t.group != nil {
+		groupRow, err := t.group.ReadRow(int(id))
+		if err != nil {
+			return nil, err
+		}
+		for col, gi := range t.groupIdx {
+			if gi >= 0 {
+				out[col] = groupRow[gi]
+			}
+		}
+	}
+	for col, mrc := range t.mrcs {
+		if mrc != nil {
+			v, err := mrc.Get(int(id))
+			if err != nil {
+				return nil, err
+			}
+			out[col] = v
+		}
+	}
+	return out, nil
+}
+
+// CreateIndex builds a DRAM-resident B+-tree index over the main
+// partition of the given column (indexes are never evicted, paper
+// Section IV). It is rebuilt by Merge.
+func (t *Table) CreateIndex(col int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.buildIndexLocked(col)
+}
+
+func (t *Table) buildIndexLocked(col int) error {
+	if col < 0 || col >= t.schema.Len() {
+		return fmt.Errorf("table %s: index column %d out of range", t.name, col)
+	}
+	tree := bptree.New(t.schema.Field(col).Type)
+	for row := 0; row < t.mainRows; row++ {
+		v, err := t.getValueLocked(uint64(row), col)
+		if err != nil {
+			return fmt.Errorf("table %s: build index on %q: %w", t.name, t.schema.Field(col).Name, err)
+		}
+		tree.Insert(v, uint32(row))
+	}
+	t.indexes[col] = tree
+	return nil
+}
+
+// Index returns the main-partition index for col, or nil.
+func (t *Table) Index(col int) *bptree.Tree {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[col]
+}
+
+// ApplyLayout sets the column layout and rebuilds the main partition
+// accordingly (merging the delta in the same pass). layout[i] = true
+// keeps column i as a DRAM-resident MRC; false places it in the SSCG.
+func (t *Table) ApplyLayout(layout []bool) error {
+	if len(layout) != t.schema.Len() {
+		return fmt.Errorf("table %s: layout has %d entries, want %d", t.name, len(layout), t.schema.Len())
+	}
+	return t.merge(layout)
+}
+
+// Merge merges the delta partition into the main partition under the
+// current layout. The process is offline in this implementation (the
+// paper's merge is asynchronous and non-blocking; here callers schedule
+// it between transactions).
+func (t *Table) Merge() error {
+	return t.merge(t.Layout())
+}
+
+func (t *Table) merge(layout []bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	snapshot := t.mgr.LastCommit()
+	// Collect all visible rows: surviving main rows, then delta rows.
+	var rows [][]value.Value
+	for row := 0; row < t.mainRows; row++ {
+		if !t.mainVersions.Visible(row, snapshot, 0) {
+			continue
+		}
+		tuple, err := t.tupleLocked(uint64(row))
+		if err != nil {
+			return fmt.Errorf("table %s: merge read main row %d: %w", t.name, row, err)
+		}
+		rows = append(rows, tuple)
+	}
+	for _, pos := range t.delta.VisibleRows(snapshot, 0) {
+		tuple, err := t.delta.GetRow(pos)
+		if err != nil {
+			return fmt.Errorf("table %s: merge read delta row %d: %w", t.name, pos, err)
+		}
+		rows = append(rows, tuple)
+	}
+
+	// Column statistics: distinct counts drive equi-predicate
+	// selectivity estimates for all columns, including SSCG-placed
+	// ones; equi-depth histograms refine range-predicate estimates
+	// (paper Section III-A, "distinct counts and histograms when
+	// available").
+	distinct := make([]int, t.schema.Len())
+	hists := make([]*histogram.Histogram, t.schema.Len())
+	colVals := make([]value.Value, len(rows))
+	for col := 0; col < t.schema.Len(); col++ {
+		seen := make(map[value.Value]struct{}, 64)
+		for r := range rows {
+			colVals[r] = rows[r][col]
+			seen[rows[r][col]] = struct{}{}
+		}
+		distinct[col] = len(seen)
+		if len(rows) > 0 {
+			h, err := histogram.Build(t.schema.Field(col).Type, colVals, histogramBuckets)
+			if err != nil {
+				return fmt.Errorf("table %s: build histogram for %q: %w", t.name, t.schema.Field(col).Name, err)
+			}
+			hists[col] = h
+		}
+	}
+
+	// Build new MRCs.
+	mrcs := make([]*column.MRC, t.schema.Len())
+	var groupFields []schema.Field
+	var groupCols []int
+	groupIdx := make([]int, t.schema.Len())
+	for i := range groupIdx {
+		groupIdx[i] = -1
+	}
+	for col := 0; col < t.schema.Len(); col++ {
+		f := t.schema.Field(col)
+		if layout[col] {
+			colVals := make([]value.Value, len(rows))
+			for r := range rows {
+				colVals[r] = rows[r][col]
+			}
+			mrc, err := column.Build(f.Name, f.Type, colVals)
+			if err != nil {
+				return fmt.Errorf("table %s: merge build MRC %q: %w", t.name, f.Name, err)
+			}
+			mrcs[col] = mrc
+		} else {
+			groupIdx[col] = len(groupFields)
+			groupFields = append(groupFields, f)
+			groupCols = append(groupCols, col)
+		}
+	}
+
+	// Build the SSCG for evicted columns.
+	var group *sscg.Group
+	if len(groupFields) > 0 {
+		groupRows := make([][]value.Value, len(rows))
+		for r := range rows {
+			gr := make([]value.Value, len(groupCols))
+			for gi, col := range groupCols {
+				gr[gi] = rows[r][col]
+			}
+			groupRows[r] = gr
+		}
+		var err error
+		group, err = sscg.Build(groupFields, groupRows, t.store, t.cache)
+		if err != nil {
+			return fmt.Errorf("table %s: merge build SSCG: %w", t.name, err)
+		}
+	}
+
+	// Fresh MVCC state: all merged rows are committed & live.
+	versions := mvcc.NewVersions()
+	for range rows {
+		versions.AppendCommitted(snapshot)
+	}
+
+	// Install the new main partition and reset the delta.
+	t.mainRows = len(rows)
+	t.layout = append([]bool(nil), layout...)
+	t.mrcs = mrcs
+	t.group = group
+	t.groupIdx = groupIdx
+	t.mainVersions = versions
+	t.delta = delta.New(t.schema)
+	t.distinct = distinct
+	t.hists = hists
+
+	// Rebuild indexes over the new main partition.
+	for col := range t.indexes {
+		if err := t.buildIndexLocked(col); err != nil {
+			return err
+		}
+	}
+	for _, idx := range t.composites {
+		if err := t.buildCompositeLocked(idx.cols); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tupleLocked reconstructs a main-partition tuple; caller holds t.mu.
+func (t *Table) tupleLocked(id RowID) ([]value.Value, error) {
+	out := make([]value.Value, t.schema.Len())
+	if t.group != nil {
+		groupRow, err := t.group.ReadRow(int(id))
+		if err != nil {
+			return nil, err
+		}
+		for col, gi := range t.groupIdx {
+			if gi >= 0 {
+				out[col] = groupRow[gi]
+			}
+		}
+	}
+	for col, mrc := range t.mrcs {
+		if mrc != nil {
+			v, err := mrc.Get(int(id))
+			if err != nil {
+				return nil, err
+			}
+			out[col] = v
+		}
+	}
+	return out, nil
+}
+
+// VisibleCount returns the number of rows visible at the latest
+// snapshot.
+func (t *Table) VisibleCount() int {
+	snapshot := t.mgr.LastCommit()
+	t.mu.RLock()
+	mainRows := t.mainRows
+	t.mu.RUnlock()
+	n := 0
+	for row := 0; row < mainRows; row++ {
+		if t.mainVersions.Visible(row, snapshot, 0) {
+			n++
+		}
+	}
+	return n + len(t.delta.VisibleRows(snapshot, 0))
+}
+
+// MemoryBytes returns the table's DRAM footprint: MRCs, delta, MVCC
+// vectors (indexes excluded for parity with the paper's budget metric,
+// which covers attribute data).
+func (t *Table) MemoryBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var b int64
+	for _, mrc := range t.mrcs {
+		if mrc != nil {
+			b += mrc.Bytes()
+		}
+	}
+	return b + t.delta.Bytes() + t.mainVersions.Bytes()
+}
+
+// SecondaryBytes returns the SSCG footprint on secondary storage.
+func (t *Table) SecondaryBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.group == nil {
+		return 0
+	}
+	return t.group.Bytes()
+}
+
+// DistinctCount estimates the number of distinct values in a column of
+// the main partition (dictionary size for MRCs, exact count for SSCG
+// columns via the delta's statistics when available).
+func (t *Table) DistinctCount(col int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if col < 0 || col >= t.schema.Len() {
+		return 0
+	}
+	n := t.distinct[col]
+	if d := t.delta.DistinctCount(col); d > n {
+		n = d
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Selectivity returns the paper's selectivity estimate 1/n for the
+// column (Section II-B).
+func (t *Table) Selectivity(col int) float64 {
+	return 1 / float64(t.DistinctCount(col))
+}
+
+// histogramBuckets is the equi-depth histogram resolution.
+const histogramBuckets = 64
+
+// Histogram returns the column's equi-depth histogram, or nil if the
+// main partition is empty.
+func (t *Table) Histogram(col int) *histogram.Histogram {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if col < 0 || col >= len(t.hists) {
+		return nil
+	}
+	return t.hists[col]
+}
+
+// RangeSelectivity estimates the fraction of rows with lo <= col <= hi
+// using the column's histogram, falling back to the equi-predicate
+// estimate when no histogram exists.
+func (t *Table) RangeSelectivity(col int, lo, hi value.Value) float64 {
+	if h := t.Histogram(col); h != nil {
+		return h.RangeSelectivity(lo, hi)
+	}
+	return t.Selectivity(col)
+}
+
+// ColumnBytes estimates the DRAM footprint column col would occupy as
+// an MRC: exact for resident columns, estimated from row count and slot
+// width for SSCG-placed ones. This is the size a_i the column selection
+// model budgets with.
+func (t *Table) ColumnBytes(col int) int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if col < 0 || col >= t.schema.Len() {
+		return 0
+	}
+	if mrc := t.mrcs[col]; mrc != nil {
+		return mrc.Bytes()
+	}
+	return int64(t.mainRows) * int64(t.schema.Field(col).SlotWidth())
+}

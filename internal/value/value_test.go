@@ -1,0 +1,161 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := NewInt(-7); v.Type() != Int64 || v.Int() != -7 {
+		t.Errorf("NewInt: %v", v)
+	}
+	if v := NewFloat(2.5); v.Type() != Float64 || v.Float() != 2.5 {
+		t.Errorf("NewFloat: %v", v)
+	}
+	if v := NewString("abc"); v.Type() != String || v.Str() != "abc" {
+		t.Errorf("NewString: %v", v)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewFloat(2.5), -1},
+		{NewFloat(2.5), NewFloat(2.5), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewString("c"), NewString("b"), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareMixedTypesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed-type Compare did not panic")
+		}
+	}()
+	NewInt(1).Compare(NewString("x"))
+}
+
+func TestEqual(t *testing.T) {
+	if !NewInt(5).Equal(NewInt(5)) {
+		t.Error("equal ints not Equal")
+	}
+	if NewInt(5).Equal(NewFloat(5)) {
+		t.Error("cross-type Equal")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Int64.String() != "int64" || Float64.String() != "float64" || String.String() != "string" {
+		t.Error("type names wrong")
+	}
+	if Type(99).String() == "" {
+		t.Error("unknown type renders empty")
+	}
+}
+
+func TestFixedWidth(t *testing.T) {
+	if FixedWidth(Int64, 0) != 8 || FixedWidth(Float64, 0) != 8 {
+		t.Error("numeric widths wrong")
+	}
+	if FixedWidth(String, 20) != 20 {
+		t.Error("string width wrong")
+	}
+}
+
+func TestEncodeDecodeFixedRoundTrip(t *testing.T) {
+	intProp := func(v int64) bool {
+		buf := make([]byte, 8)
+		if err := EncodeFixed(NewInt(v), buf); err != nil {
+			return false
+		}
+		got, err := DecodeFixed(Int64, buf)
+		return err == nil && got.Int() == v
+	}
+	if err := quick.Check(intProp, nil); err != nil {
+		t.Error(err)
+	}
+	floatProp := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		buf := make([]byte, 8)
+		if err := EncodeFixed(NewFloat(v), buf); err != nil {
+			return false
+		}
+		got, err := DecodeFixed(Float64, buf)
+		return err == nil && got.Float() == v
+	}
+	if err := quick.Check(floatProp, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeString(t *testing.T) {
+	buf := make([]byte, 10)
+	if err := EncodeFixed(NewString("hello"), buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFixed(String, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Str() != "hello" {
+		t.Errorf("round trip = %q", got.Str())
+	}
+	// Truncation at slot width.
+	if err := EncodeFixed(NewString("0123456789abc"), buf); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = DecodeFixed(String, buf)
+	if got.Str() != "0123456789" {
+		t.Errorf("truncated = %q, want %q", got.Str(), "0123456789")
+	}
+	// Re-encoding a shorter string must clear stale bytes.
+	if err := EncodeFixed(NewString("xy"), buf); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = DecodeFixed(String, buf)
+	if got.Str() != "xy" {
+		t.Errorf("stale bytes leaked: %q", got.Str())
+	}
+}
+
+func TestEncodeFixedWrongSlotSize(t *testing.T) {
+	if err := EncodeFixed(NewInt(1), make([]byte, 4)); err == nil {
+		t.Error("short int slot accepted")
+	}
+	if err := EncodeFixed(NewFloat(1), make([]byte, 4)); err == nil {
+		t.Error("short float slot accepted")
+	}
+	if _, err := DecodeFixed(Int64, make([]byte, 4)); err == nil {
+		t.Error("short int decode accepted")
+	}
+	if _, err := DecodeFixed(Float64, make([]byte, 4)); err == nil {
+		t.Error("short float decode accepted")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	if NewInt(3).String() != "3" {
+		t.Error("int rendering")
+	}
+	if NewFloat(2.5).String() != "2.5" {
+		t.Error("float rendering")
+	}
+	if NewString("x").String() != "x" {
+		t.Error("string rendering")
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+)
+
+// History tracks plan executions over moving time windows (the paper's
+// Section VI: "varying time frames (moving windows) of historic
+// workload data can be used to feed the model"). The caller closes a
+// window whenever its time frame elapses (e.g. hourly or daily);
+// History keeps the most recent `capacity` windows and produces aligned
+// per-plan frequency series for the forecast package.
+type History struct {
+	mu       sync.Mutex
+	capacity int
+	current  *PlanCache
+	windows  []map[string]Plan // oldest first
+}
+
+// NewHistory tracks up to capacity closed windows (minimum 1).
+func NewHistory(capacity int) *History {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &History{capacity: capacity, current: NewPlanCache()}
+}
+
+// Record notes one execution of a plan in the current window.
+func (h *History) Record(columns []int) {
+	h.mu.Lock()
+	cur := h.current
+	h.mu.Unlock()
+	cur.Record(columns)
+}
+
+// RecordN notes n executions.
+func (h *History) RecordN(columns []int, n float64) {
+	h.mu.Lock()
+	cur := h.current
+	h.mu.Unlock()
+	cur.RecordN(columns, n)
+}
+
+// CloseWindow freezes the current window into the history and starts a
+// new one. The oldest window is dropped beyond capacity.
+func (h *History) CloseWindow() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snapshot := make(map[string]Plan)
+	for _, p := range h.current.Plans() {
+		snapshot[planKey(p.Columns)] = p
+	}
+	h.windows = append(h.windows, snapshot)
+	if len(h.windows) > h.capacity {
+		h.windows = h.windows[len(h.windows)-h.capacity:]
+	}
+	h.current = NewPlanCache()
+}
+
+// Windows returns the number of closed windows.
+func (h *History) Windows() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.windows)
+}
+
+// PlanSeries is one distinct plan with its aligned per-window
+// frequencies (0 where the plan did not run).
+type PlanSeries struct {
+	Columns []int
+	Counts  []float64 // one entry per closed window, oldest first
+}
+
+// Series returns every plan seen in any closed window with its aligned
+// frequency series, ordered by total count descending (ties by key).
+func (h *History) Series() []PlanSeries {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	keys := make(map[string][]int)
+	for _, w := range h.windows {
+		for k, p := range w {
+			if _, seen := keys[k]; !seen {
+				keys[k] = append([]int(nil), p.Columns...)
+			}
+		}
+	}
+	out := make([]PlanSeries, 0, len(keys))
+	for k, cols := range keys {
+		counts := make([]float64, len(h.windows))
+		for i, w := range h.windows {
+			if p, ok := w[k]; ok {
+				counts[i] = p.Count
+			}
+		}
+		out = append(out, PlanSeries{Columns: cols, Counts: counts})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ta, tb := 0.0, 0.0
+		for _, c := range out[a].Counts {
+			ta += c
+		}
+		for _, c := range out[b].Counts {
+			tb += c
+		}
+		if ta != tb {
+			return ta > tb
+		}
+		return planKey(out[a].Columns) < planKey(out[b].Columns)
+	})
+	return out
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistoryWindowLifecycle(t *testing.T) {
+	h := NewHistory(3)
+	h.RecordN([]int{0}, 10)
+	h.CloseWindow()
+	h.RecordN([]int{0}, 20)
+	h.RecordN([]int{1, 2}, 5)
+	h.CloseWindow()
+	if h.Windows() != 2 {
+		t.Fatalf("Windows = %d", h.Windows())
+	}
+	series := h.Series()
+	if len(series) != 2 {
+		t.Fatalf("series = %d plans", len(series))
+	}
+	// Highest-total plan first: {0} with 30.
+	if len(series[0].Columns) != 1 || series[0].Columns[0] != 0 {
+		t.Errorf("series[0] plan = %v", series[0].Columns)
+	}
+	if series[0].Counts[0] != 10 || series[0].Counts[1] != 20 {
+		t.Errorf("series[0] counts = %v", series[0].Counts)
+	}
+	// Plan {1,2} absent in window 0: aligned zero.
+	if series[1].Counts[0] != 0 || series[1].Counts[1] != 5 {
+		t.Errorf("series[1] counts = %v", series[1].Counts)
+	}
+}
+
+func TestHistoryCapacityEviction(t *testing.T) {
+	h := NewHistory(2)
+	for i := 0; i < 5; i++ {
+		h.RecordN([]int{0}, float64(i+1))
+		h.CloseWindow()
+	}
+	if h.Windows() != 2 {
+		t.Fatalf("Windows = %d, want 2", h.Windows())
+	}
+	series := h.Series()
+	if series[0].Counts[0] != 4 || series[0].Counts[1] != 5 {
+		t.Errorf("kept windows = %v, want [4 5]", series[0].Counts)
+	}
+}
+
+func TestHistoryMinimumCapacity(t *testing.T) {
+	h := NewHistory(0)
+	h.Record([]int{1})
+	h.CloseWindow()
+	h.Record([]int{1})
+	h.CloseWindow()
+	if h.Windows() != 1 {
+		t.Errorf("Windows = %d, want 1", h.Windows())
+	}
+}
+
+func TestHistoryEmptyWindowCounts(t *testing.T) {
+	h := NewHistory(3)
+	h.RecordN([]int{0}, 7)
+	h.CloseWindow()
+	h.CloseWindow() // empty window
+	series := h.Series()
+	if len(series) != 1 || len(series[0].Counts) != 2 {
+		t.Fatalf("series = %+v", series)
+	}
+	if series[0].Counts[1] != 0 {
+		t.Errorf("empty window count = %g", series[0].Counts[1])
+	}
+}
+
+func TestHistoryConcurrent(t *testing.T) {
+	h := NewHistory(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Record([]int{g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	h.CloseWindow()
+	total := 0.0
+	for _, s := range h.Series() {
+		for _, c := range s.Counts {
+			total += c
+		}
+	}
+	if total != 2000 {
+		t.Errorf("total recorded = %g, want 2000", total)
+	}
+}

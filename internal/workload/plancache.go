@@ -1,0 +1,150 @@
+// Package workload captures executed query plans — the database's plan
+// cache — and turns them into column selection inputs (paper Section
+// I-B: "We separate attributes ... by analyzing the database's plan
+// cache"). Each distinct set of filtered columns is one plan; its
+// execution count is the query frequency b_j of the optimization model.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tierdb/internal/core"
+	"tierdb/internal/table"
+)
+
+// Plan is one distinct cached plan: the filtered column set and how
+// often it ran.
+type Plan struct {
+	Columns []int
+	Count   float64
+}
+
+// PlanCache accumulates plan executions. Safe for concurrent use.
+type PlanCache struct {
+	mu      sync.Mutex
+	entries map[string]*Plan
+}
+
+// NewPlanCache returns an empty plan cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{entries: make(map[string]*Plan)}
+}
+
+// Record notes one execution of a plan filtering the given columns.
+// Column order within a plan does not matter.
+func (pc *PlanCache) Record(columns []int) {
+	cols := append([]int(nil), columns...)
+	sort.Ints(cols)
+	key := planKey(cols)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if e, ok := pc.entries[key]; ok {
+		e.Count++
+		return
+	}
+	pc.entries[key] = &Plan{Columns: cols, Count: 1}
+}
+
+// RecordN notes n executions at once (bulk import of an external plan
+// cache).
+func (pc *PlanCache) RecordN(columns []int, n float64) {
+	if n <= 0 {
+		return
+	}
+	cols := append([]int(nil), columns...)
+	sort.Ints(cols)
+	key := planKey(cols)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if e, ok := pc.entries[key]; ok {
+		e.Count += n
+		return
+	}
+	pc.entries[key] = &Plan{Columns: cols, Count: n}
+}
+
+// Plans returns all distinct plans, ordered by descending count (ties
+// by key) for stable output.
+func (pc *PlanCache) Plans() []Plan {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	out := make([]Plan, 0, len(pc.entries))
+	for _, e := range pc.entries {
+		out = append(out, Plan{Columns: append([]int(nil), e.Columns...), Count: e.Count})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return planKey(out[a].Columns) < planKey(out[b].Columns)
+	})
+	return out
+}
+
+// Len returns the number of distinct plans.
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.entries)
+}
+
+// Reset clears all recorded plans (e.g. when starting a new moving
+// window over the workload history).
+func (pc *PlanCache) Reset() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.entries = make(map[string]*Plan)
+}
+
+func planKey(sorted []int) string {
+	var b strings.Builder
+	for i, c := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}
+
+// Extract builds the column selection input for a table from its
+// statistics (sizes, selectivities) and the recorded plans. Columns
+// listed in pinned are marked Pinned (e.g. primary keys under an SLA).
+func Extract(tbl *table.Table, pc *PlanCache, pinned []int) (*core.Workload, error) {
+	s := tbl.Schema()
+	cols := make([]core.Column, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		cols[i] = core.Column{
+			Name:        s.Field(i).Name,
+			Size:        tbl.ColumnBytes(i),
+			Selectivity: tbl.Selectivity(i),
+		}
+		if cols[i].Size <= 0 {
+			cols[i].Size = 1 // empty tables: keep the model well-formed
+		}
+	}
+	for _, p := range pinned {
+		if p < 0 || p >= len(cols) {
+			return nil, fmt.Errorf("workload: pinned column %d out of range (%d)", p, len(cols))
+		}
+		cols[p].Pinned = true
+	}
+	plans := pc.Plans()
+	queries := make([]core.Query, 0, len(plans))
+	for _, p := range plans {
+		for _, c := range p.Columns {
+			if c < 0 || c >= len(cols) {
+				return nil, fmt.Errorf("workload: plan references column %d, table has %d", c, len(cols))
+			}
+		}
+		queries = append(queries, core.Query{Columns: p.Columns, Frequency: p.Count})
+	}
+	w := &core.Workload{Columns: cols, Queries: queries}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: extracted workload invalid: %w", err)
+	}
+	return w, nil
+}

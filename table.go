@@ -1,0 +1,182 @@
+package tierdb
+
+import (
+	"fmt"
+
+	"tierdb/internal/exec"
+	"tierdb/internal/table"
+	"tierdb/internal/value"
+	"tierdb/internal/workload"
+)
+
+// Table is the public handle of a tiered table. Queries executed through
+// Select feed the table's plan cache, which RecommendLayout analyzes.
+type Table struct {
+	db      *DB
+	inner   *table.Table
+	plans   *workload.PlanCache
+	history *workload.History
+	exec    *exec.Executor
+}
+
+// Predicate is a conjunctive filter; construct with Eq or Between.
+type Predicate = exec.Predicate
+
+// Eq builds an equality predicate on the named column.
+func (t *Table) Eq(column string, v Value) (Predicate, error) {
+	c := t.inner.Schema().IndexOf(column)
+	if c < 0 {
+		return Predicate{}, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), column)
+	}
+	return Predicate{Column: c, Op: exec.Eq, Value: v}, nil
+}
+
+// Between builds an inclusive range predicate on the named column.
+func (t *Table) Between(column string, lo, hi Value) (Predicate, error) {
+	c := t.inner.Schema().IndexOf(column)
+	if c < 0 {
+		return Predicate{}, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), column)
+	}
+	return Predicate{Column: c, Op: exec.Between, Value: lo, Hi: hi}, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.inner.Name() }
+
+// Columns returns the schema fields.
+func (t *Table) Columns() []Field { return t.inner.Schema().Fields() }
+
+// Rows returns the number of rows visible at the latest snapshot.
+func (t *Table) Rows() int { return t.inner.VisibleCount() }
+
+// BulkLoad appends rows outside any transaction and merges them into
+// the main partition under the current layout.
+func (t *Table) BulkLoad(rows [][]Value) error {
+	if err := t.inner.BulkAppend(rows); err != nil {
+		return err
+	}
+	return t.inner.Merge()
+}
+
+// Insert appends one row in its own transaction.
+func (t *Table) Insert(row []Value) error {
+	tx := t.db.Begin()
+	if err := t.inner.Insert(tx, row); err != nil {
+		if aerr := t.db.Abort(tx); aerr != nil {
+			return fmt.Errorf("%w (abort failed: %v)", err, aerr)
+		}
+		return err
+	}
+	return t.db.Commit(tx)
+}
+
+// InsertTx appends one row within an existing transaction.
+func (t *Table) InsertTx(tx *Tx, row []Value) error {
+	return t.inner.Insert(tx, row)
+}
+
+// Delete removes a row within a transaction.
+func (t *Table) Delete(tx *Tx, id RowID) error { return t.inner.Delete(tx, id) }
+
+// Update replaces a row within a transaction (insert-only: delete +
+// insert).
+func (t *Table) Update(tx *Tx, id RowID, row []Value) error {
+	return t.inner.Update(tx, id, row)
+}
+
+// SelectResult carries qualifying row ids and projected rows.
+type SelectResult = exec.Result
+
+// Select runs a conjunctive filter query at the latest snapshot (tx may
+// be nil) projecting the named columns (none = positions only). The
+// filtered column set is recorded in the plan cache for the placement
+// optimizer.
+func (t *Table) Select(tx *Tx, predicates []Predicate, project ...string) (*SelectResult, error) {
+	proj := make([]int, 0, len(project))
+	for _, name := range project {
+		c := t.inner.Schema().IndexOf(name)
+		if c < 0 {
+			return nil, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), name)
+		}
+		proj = append(proj, c)
+	}
+	cols := make([]int, 0, len(predicates))
+	for _, p := range predicates {
+		cols = append(cols, p.Column)
+	}
+	if len(cols) > 0 {
+		t.plans.Record(cols)
+		t.history.Record(cols)
+	}
+	return t.exec.Run(exec.Query{Predicates: predicates, Project: proj}, tx)
+}
+
+// Get reconstructs a full tuple by row id.
+func (t *Table) Get(id RowID) ([]Value, error) {
+	return t.exec.Reconstruct(id)
+}
+
+// GetValue reads one cell.
+func (t *Table) GetValue(id RowID, column string) (Value, error) {
+	c := t.inner.Schema().IndexOf(column)
+	if c < 0 {
+		return value.Value{}, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), column)
+	}
+	return t.inner.GetValue(id, c)
+}
+
+// Sum aggregates a numeric column over the given rows.
+func (t *Table) Sum(column string, ids []RowID) (float64, error) {
+	c := t.inner.Schema().IndexOf(column)
+	if c < 0 {
+		return 0, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), column)
+	}
+	return t.exec.Sum(c, ids)
+}
+
+// CreateIndex builds a DRAM-resident B+-tree over the named column's
+// main partition (indexes are never evicted).
+func (t *Table) CreateIndex(column string) error {
+	c := t.inner.Schema().IndexOf(column)
+	if c < 0 {
+		return fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), column)
+	}
+	return t.inner.CreateIndex(c)
+}
+
+// Merge folds the delta partition into the main partition under the
+// current layout.
+func (t *Table) Merge() error { return t.inner.Merge() }
+
+// Layout reports per column whether it is DRAM-resident (MRC).
+func (t *Table) Layout() []bool { return t.inner.Layout() }
+
+// MemoryBytes returns the table's DRAM footprint.
+func (t *Table) MemoryBytes() int64 { return t.inner.MemoryBytes() }
+
+// SecondaryBytes returns the table's secondary-storage footprint.
+func (t *Table) SecondaryBytes() int64 { return t.inner.SecondaryBytes() }
+
+// PlanCache exposes the recorded workload (distinct plans and counts).
+func (t *Table) PlanCache() *workload.PlanCache { return t.plans }
+
+// Inner exposes the underlying storage-engine table for advanced use
+// (experiments, benchmarks).
+func (t *Table) Inner() *table.Table { return t.inner }
+
+// Executor exposes the table's query executor for advanced use.
+func (t *Table) Executor() *exec.Executor { return t.exec }
+
+// GroupBySum groups the given rows by one column and sums a numeric
+// column within each group.
+func (t *Table) GroupBySum(groupColumn, sumColumn string, ids []RowID) (map[Value]float64, error) {
+	g := t.inner.Schema().IndexOf(groupColumn)
+	if g < 0 {
+		return nil, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), groupColumn)
+	}
+	a := t.inner.Schema().IndexOf(sumColumn)
+	if a < 0 {
+		return nil, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), sumColumn)
+	}
+	return t.exec.GroupBySum(g, a, ids)
+}
