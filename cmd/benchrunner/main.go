@@ -42,6 +42,7 @@ func main() {
 		"fig9a":  func() (*experiments.Report, error) { return experiments.Fig9a(*seed) },
 		"fig9b":  func() (*experiments.Report, error) { return experiments.Fig9b(*seed) },
 		"table4": func() (*experiments.Report, error) { return experiments.Table4(*seed) },
+		"pscan":  func() (*experiments.Report, error) { return experiments.PScan(*seed) },
 	}
 	order := make([]string, 0, len(runners))
 	for id := range runners {

@@ -34,18 +34,21 @@ func (s Stats) HitRate() float64 {
 }
 
 type frame struct {
-	id     storage.PageID
-	data   []byte
-	valid  bool
-	pins   int
-	refbit bool
-	dirty  bool
+	id      storage.PageID
+	data    []byte
+	valid   bool
+	loading bool // fault IO in flight; data not yet readable
+	pins    int
+	refbit  bool
+	dirty   bool
 }
 
 // Cache is a fixed-size page cache over a storage.Store. All methods
-// are safe for concurrent use.
+// are safe for concurrent use; fault IO happens outside the cache lock
+// so hits on other pages proceed while a miss is being served.
 type Cache struct {
 	mu      sync.Mutex
+	loaded  sync.Cond // signalled when a loading frame settles or pins drop
 	backing storage.Store
 	frames  []frame
 	index   map[storage.PageID]int
@@ -64,6 +67,7 @@ func New(frames int, backing storage.Store) (*Cache, error) {
 		frames:  make([]frame, frames),
 		index:   make(map[storage.PageID]int, frames),
 	}
+	c.loaded.L = &c.mu
 	for i := range c.frames {
 		c.frames[i].data = make([]byte, storage.PageSize)
 	}
@@ -85,14 +89,35 @@ func (c *Cache) Stats() Stats {
 // frame buffer and is valid until Release; callers must not write to it.
 // The boolean reports whether the access was a hit.
 func (c *Cache) Get(id storage.PageID) ([]byte, bool, error) {
+	return c.GetVia(id, nil)
+}
+
+// GetVia is Get with the fault IO routed through the given store
+// (nil selects the cache's backing store). Parallel scan workers pass
+// per-worker timed views of the same device so that fault latencies are
+// charged to per-worker clocks; the cached frames stay shared.
+func (c *Cache) GetVia(id storage.PageID, backing storage.Store) ([]byte, bool, error) {
+	if backing == nil {
+		backing = c.backing
+	}
 	c.mu.Lock()
-	if fi, ok := c.index[id]; ok {
+	for {
+		fi, ok := c.index[id]
+		if !ok {
+			break
+		}
 		f := &c.frames[fi]
-		f.pins++
-		f.refbit = true
-		c.stats.Hits++
-		c.mu.Unlock()
-		return f.data, true, nil
+		if !f.loading {
+			f.pins++
+			f.refbit = true
+			c.stats.Hits++
+			c.mu.Unlock()
+			return f.data, true, nil
+		}
+		// Another goroutine is faulting this page in: wait for the
+		// frame to settle, then re-check from scratch (the load may
+		// have failed and removed the index entry).
+		c.loaded.Wait()
 	}
 	c.stats.Misses++
 	fi, err := c.evictLocked()
@@ -103,25 +128,28 @@ func (c *Cache) Get(id storage.PageID) ([]byte, bool, error) {
 	f := &c.frames[fi]
 	f.id = id
 	f.valid = true
+	f.loading = true
 	f.pins = 1
 	f.refbit = true
 	c.index[id] = fi
-	// Hold the frame reservation but drop the cache lock during IO so
-	// hits on other pages proceed. The pin prevents eviction; a
-	// concurrent Get on the same id would find the index entry and
-	// wait — to keep the design simple we perform the read under a
-	// per-cache IO ordering by keeping the pin and completing before
-	// publishing data. For correctness with concurrent same-page
-	// readers, the read happens under the lock.
-	err = c.backing.ReadPage(id, f.data)
-	if err != nil {
+	// Drop the cache lock during IO so hits on other pages proceed.
+	// The pin keeps the frame from eviction, the loading flag keeps
+	// concurrent readers of the same page off the buffer until the
+	// data is published.
+	c.mu.Unlock()
+	rerr := backing.ReadPage(id, f.data)
+	c.mu.Lock()
+	f.loading = false
+	if rerr != nil {
 		f.valid = false
 		f.pins = 0
 		delete(c.index, id)
-		c.mu.Unlock()
-		return nil, false, fmt.Errorf("amm: fault page %d: %w", id, err)
 	}
+	c.loaded.Broadcast()
 	c.mu.Unlock()
+	if rerr != nil {
+		return nil, false, fmt.Errorf("amm: fault page %d: %w", id, rerr)
+	}
 	return f.data, false, nil
 }
 
@@ -131,7 +159,25 @@ func (c *Cache) Release(id storage.PageID) {
 	defer c.mu.Unlock()
 	if fi, ok := c.index[id]; ok && c.frames[fi].pins > 0 {
 		c.frames[fi].pins--
+		if c.frames[fi].pins == 0 {
+			c.loaded.Broadcast() // a writer may be waiting for readers to drain
+		}
 	}
+}
+
+// PinnedFrames returns the number of frames with a nonzero pin count —
+// zero whenever no Get is outstanding. Fault-injection tests use it to
+// prove that error paths leave no frame pinned.
+func (c *Cache) PinnedFrames() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := range c.frames {
+		if c.frames[i].pins > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Pin marks a cached page as unevictable until Unpin; it faults the
@@ -155,7 +201,7 @@ func (c *Cache) evictLocked() (int, error) {
 		if !f.valid {
 			return idx, nil
 		}
-		if f.pins > 0 {
+		if f.pins > 0 || f.loading {
 			continue
 		}
 		if f.refbit {
@@ -179,24 +225,36 @@ func (c *Cache) evictLocked() (int, error) {
 
 // Write updates a page through the cache (write-allocate) and marks the
 // frame dirty; the page reaches backing storage on eviction or Flush.
+// The write waits until no reader holds a pin on the page (Get hands
+// out the frame buffer directly, so mutating it under a reader would
+// race); a goroutine must not Write a page it still has pinned.
 func (c *Cache) Write(id storage.PageID, data []byte) error {
 	if len(data) != storage.PageSize {
 		return fmt.Errorf("amm: buffer is %d bytes, want %d", len(data), storage.PageSize)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fi, ok := c.index[id]
-	if !ok {
-		var err error
-		fi, err = c.evictLocked()
-		if err != nil {
-			return err
+	var fi int
+	for {
+		var ok bool
+		fi, ok = c.index[id]
+		if !ok {
+			var err error
+			fi, err = c.evictLocked()
+			if err != nil {
+				return err
+			}
+			c.frames[fi].id = id
+			c.frames[fi].valid = true
+			c.frames[fi].pins = 0
+			c.index[id] = fi
+			c.stats.Misses++
+			break
 		}
-		c.frames[fi].id = id
-		c.frames[fi].valid = true
-		c.frames[fi].pins = 0
-		c.index[id] = fi
-		c.stats.Misses++
+		if !c.frames[fi].loading && c.frames[fi].pins == 0 {
+			break
+		}
+		c.loaded.Wait() // drain concurrent readers / in-flight fault
 	}
 	f := &c.frames[fi]
 	copy(f.data, data)

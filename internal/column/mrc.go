@@ -74,6 +74,12 @@ func (c *MRC) Code(i int) uint32 { return c.codes.Get(i) }
 // which skip returns true (MVCC-invisible rows); skip may be nil.
 // Predicate evaluation happens on compressed codes.
 func (c *MRC) ScanEqual(v value.Value, out []uint32, skip func(int) bool) ([]uint32, error) {
+	return c.ScanEqualIn(v, 0, c.codes.Len(), out, skip)
+}
+
+// ScanEqualIn is ScanEqual restricted to rows in [rowLo, rowHi); the
+// morsel-driven parallel executor calls it with disjoint row ranges.
+func (c *MRC) ScanEqualIn(v value.Value, rowLo, rowHi int, out []uint32, skip func(int) bool) ([]uint32, error) {
 	if v.Type() != c.typ {
 		return nil, fmt.Errorf("column %q: predicate type %s, want %s", c.name, v.Type(), c.typ)
 	}
@@ -81,11 +87,16 @@ func (c *MRC) ScanEqual(v value.Value, out []uint32, skip func(int) bool) ([]uin
 	if !ok {
 		return out, nil // value absent: empty result
 	}
-	return c.codes.ScanEqual(code, out, skip), nil
+	return c.codes.ScanEqualIn(code, rowLo, rowHi, out, skip), nil
 }
 
 // ScanRange appends positions with lo <= value <= hi to out.
 func (c *MRC) ScanRange(lo, hi value.Value, out []uint32, skip func(int) bool) ([]uint32, error) {
+	return c.ScanRangeIn(lo, hi, 0, c.codes.Len(), out, skip)
+}
+
+// ScanRangeIn is ScanRange restricted to rows in [rowLo, rowHi).
+func (c *MRC) ScanRangeIn(lo, hi value.Value, rowLo, rowHi int, out []uint32, skip func(int) bool) ([]uint32, error) {
 	if lo.Type() != c.typ || hi.Type() != c.typ {
 		return nil, fmt.Errorf("column %q: range predicate types %s/%s, want %s", c.name, lo.Type(), hi.Type(), c.typ)
 	}
@@ -94,7 +105,7 @@ func (c *MRC) ScanRange(lo, hi value.Value, out []uint32, skip func(int) bool) (
 	if loCode >= hiCode {
 		return out, nil
 	}
-	return c.codes.ScanRange(loCode, hiCode, out, skip), nil
+	return c.codes.ScanRangeIn(loCode, hiCode, rowLo, rowHi, out, skip), nil
 }
 
 // ProbeEqual reports for each position in candidates whether the value

@@ -49,6 +49,13 @@ type Profile struct {
 	// access; used for HDDs whose head thrashes between request
 	// streams.
 	ConcurrencyPenalty float64
+	// ScalableBandwidth marks devices whose SeqBandwidth figure is per
+	// access stream rather than a device-wide total: aggregate
+	// sequential bandwidth grows with concurrent streams up to
+	// Saturation. DRAM behaves this way (each core drives its own
+	// load on the memory channels); secondary-storage devices share
+	// one device-total bandwidth.
+	ScalableBandwidth bool
 }
 
 // The device profiles of the paper's testbed. Latencies and bandwidths
@@ -58,12 +65,13 @@ var (
 	// DRAM models main memory accessed at page granularity; the
 	// latency approximates reading 4 KB spread over cache misses.
 	DRAM = Profile{
-		Name:         "DRAM",
-		ReadLatency:  300 * time.Nanosecond,
-		WriteLatency: 300 * time.Nanosecond,
-		TailFactor:   1.5,
-		SeqBandwidth: 10 << 30, // per-thread stream bandwidth
-		Saturation:   4,
+		Name:              "DRAM",
+		ReadLatency:       300 * time.Nanosecond,
+		WriteLatency:      300 * time.Nanosecond,
+		TailFactor:        1.5,
+		SeqBandwidth:      10 << 30, // per-thread stream bandwidth
+		Saturation:        4,
+		ScalableBandwidth: true,
 	}
 	// CSSD is the consumer-grade Samsung SSD 850 Pro (SATA, 256 GB).
 	CSSD = Profile{
@@ -163,13 +171,26 @@ func (p Profile) RandomReadTime(pages int64, threads int) time.Duration {
 
 // SequentialReadTime returns the modeled time for one thread of
 // `threads` concurrent workers to sequentially read `bytes` bytes. The
-// device bandwidth is shared across threads; one initial seek/latency is
+// aggregate device bandwidth — device-total for secondary storage,
+// per-stream scaling up to Saturation for ScalableBandwidth devices
+// like DRAM — is shared across threads; one initial seek/latency is
 // charged per stream.
 func (p Profile) SequentialReadTime(bytes int64, threads int) time.Duration {
 	if bytes <= 0 {
 		return 0
 	}
-	bw := p.SeqBandwidth / float64(max(threads, 1))
+	if threads < 1 {
+		threads = 1
+	}
+	total := p.SeqBandwidth
+	if p.ScalableBandwidth {
+		streams := threads
+		if p.Saturation > 0 && streams > p.Saturation {
+			streams = p.Saturation
+		}
+		total *= float64(streams)
+	}
+	bw := total / float64(threads)
 	seconds := float64(bytes)/bw + float64(p.ReadLatency)/float64(time.Second)*p.contention(threads)
 	return time.Duration(seconds * float64(time.Second))
 }

@@ -157,7 +157,14 @@ func (v *BitPacked) Bytes() int64 { return int64(len(v.words) * 8) }
 // where skip reports true (used for MVCC-invisible rows); skip may be
 // nil. It returns out.
 func (v *BitPacked) ScanEqual(c uint32, out []uint32, skip func(int) bool) []uint32 {
-	for i := 0; i < v.n; i++ {
+	return v.ScanEqualIn(c, 0, v.n, out, skip)
+}
+
+// ScanEqualIn appends positions in [rowLo, rowHi) with code c to out;
+// morsel-driven parallel scans call it with disjoint row ranges.
+func (v *BitPacked) ScanEqualIn(c uint32, rowLo, rowHi int, out []uint32, skip func(int) bool) []uint32 {
+	rowLo, rowHi = clampRange(rowLo, rowHi, v.n)
+	for i := rowLo; i < rowHi; i++ {
 		if v.Get(i) == c && (skip == nil || !skip(i)) {
 			out = append(out, uint32(i))
 		}
@@ -167,10 +174,28 @@ func (v *BitPacked) ScanEqual(c uint32, out []uint32, skip func(int) bool) []uin
 
 // ScanRange appends positions with code in [lo, hi) to out.
 func (v *BitPacked) ScanRange(lo, hi uint32, out []uint32, skip func(int) bool) []uint32 {
-	for i := 0; i < v.n; i++ {
+	return v.ScanRangeIn(lo, hi, 0, v.n, out, skip)
+}
+
+// ScanRangeIn appends positions in [rowLo, rowHi) with code in [lo, hi)
+// to out.
+func (v *BitPacked) ScanRangeIn(lo, hi uint32, rowLo, rowHi int, out []uint32, skip func(int) bool) []uint32 {
+	rowLo, rowHi = clampRange(rowLo, rowHi, v.n)
+	for i := rowLo; i < rowHi; i++ {
 		if c := v.Get(i); c >= lo && c < hi && (skip == nil || !skip(i)) {
 			out = append(out, uint32(i))
 		}
 	}
 	return out
+}
+
+// clampRange bounds a half-open row range to [0, n).
+func clampRange(lo, hi, n int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
 }

@@ -74,6 +74,15 @@ type Options struct {
 	// DRAMTouch is the modeled cost of one dependent random DRAM
 	// access (cache miss); zero selects the default of 60 ns.
 	DRAMTouch time.Duration
+	// Parallelism is the number of worker goroutines for morsel-driven
+	// main-partition scans, probes and materialization; values <= 1
+	// select the serial executor. Results are byte-identical to the
+	// serial path at any level.
+	Parallelism int
+	// MorselRows is the number of main-partition rows per morsel for
+	// parallel scans; zero selects DefaultMorselRows. SSCG scan
+	// morsels are additionally aligned to page boundaries.
+	MorselRows int
 }
 
 // DefaultProbeThreshold is the paper's scan-to-probe switch point.
@@ -84,11 +93,13 @@ const DefaultDRAMTouch = 60 * time.Nanosecond
 
 // Executor runs queries against one table.
 type Executor struct {
-	tbl       *table.Table
-	clock     *storage.Clock
-	threshold float64
-	threads   int
-	dramTouch time.Duration
+	tbl         *table.Table
+	clock       *storage.Clock
+	threshold   float64
+	threads     int
+	dramTouch   time.Duration
+	parallelism int
+	morselRows  int
 }
 
 // New builds an executor for tbl.
@@ -102,14 +113,25 @@ func New(tbl *table.Table, opts Options) *Executor {
 	if opts.DRAMTouch == 0 {
 		opts.DRAMTouch = DefaultDRAMTouch
 	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
+	if opts.MorselRows < 1 {
+		opts.MorselRows = DefaultMorselRows
+	}
 	return &Executor{
-		tbl:       tbl,
-		clock:     opts.Clock,
-		threshold: opts.ProbeThreshold,
-		threads:   opts.Threads,
-		dramTouch: opts.DRAMTouch,
+		tbl:         tbl,
+		clock:       opts.Clock,
+		threshold:   opts.ProbeThreshold,
+		threads:     opts.Threads,
+		dramTouch:   opts.DRAMTouch,
+		parallelism: opts.Parallelism,
+		morselRows:  opts.MorselRows,
 	}
 }
+
+// Parallelism returns the configured worker count (1 = serial).
+func (e *Executor) Parallelism() int { return e.parallelism }
 
 // charge adds modeled DRAM time to the clock.
 func (e *Executor) charge(d time.Duration) {
@@ -141,7 +163,13 @@ func (e *Executor) Run(q Query, tx *mvcc.Tx) (*Result, error) {
 
 	ordered := e.orderPredicates(q.Predicates)
 
-	mainIDs, err := e.runMain(ordered, snapshot, self)
+	var mainIDs []uint32
+	var err error
+	if e.parallelism > 1 {
+		mainIDs, err = e.runMainParallel(ordered, snapshot, self)
+	} else {
+		mainIDs, err = e.runMain(ordered, snapshot, self)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +187,12 @@ func (e *Executor) Run(q Query, tx *mvcc.Tx) (*Result, error) {
 		res.IDs = append(res.IDs, mainRows+uint64(p))
 	}
 	if len(q.Project) > 0 {
-		if err := e.materialize(res, q.Project); err != nil {
+		if e.parallelism > 1 {
+			err = e.materializeParallel(res, q.Project)
+		} else {
+			err = e.materialize(res, q.Project)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -268,26 +301,7 @@ func (e *Executor) applyMain(p Predicate, cand []uint32, first bool, skip func(i
 
 	// Index access path (always DRAM-resident).
 	if idx := e.tbl.Index(p.Column); idx != nil && first {
-		var positions []uint32
-		collect := func(_ value.Value, rows []uint32) bool {
-			positions = append(positions, rows...)
-			return true
-		}
-		switch p.Op {
-		case Eq:
-			positions = append(positions, idx.Lookup(p.Value)...)
-		case Between:
-			idx.Range(p.Value, p.Hi, collect)
-		}
-		e.chargeTouches(20 + len(positions)) // tree descent + leaf reads
-		out := positions[:0]
-		for _, pos := range positions {
-			if !skip(int(pos)) {
-				out = append(out, pos)
-			}
-		}
-		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-		return out, nil
+		return e.indexLookup(p, skip), nil
 	}
 
 	if mrc := e.tbl.MRC(p.Column); mrc != nil {
@@ -339,6 +353,34 @@ func (e *Executor) applyMain(p Predicate, cand []uint32, first bool, skip func(i
 	}
 	// Probe: one page access per candidate.
 	return group.Probe(gf, pred, cand, nil)
+}
+
+// indexLookup resolves a predicate through the column's B+-tree index,
+// returning visible matching positions in ascending row order. Shared
+// by the serial and parallel paths (index descent is DRAM-cheap and
+// stays single-threaded either way).
+func (e *Executor) indexLookup(p Predicate, skip func(int) bool) []uint32 {
+	idx := e.tbl.Index(p.Column)
+	var positions []uint32
+	collect := func(_ value.Value, rows []uint32) bool {
+		positions = append(positions, rows...)
+		return true
+	}
+	switch p.Op {
+	case Eq:
+		positions = append(positions, idx.Lookup(p.Value)...)
+	case Between:
+		idx.Range(p.Value, p.Hi, collect)
+	}
+	e.chargeTouches(20 + len(positions)) // tree descent + leaf reads
+	out := positions[:0]
+	for _, pos := range positions {
+		if !skip(int(pos)) {
+			out = append(out, pos)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
 }
 
 // compile turns a predicate into a value filter for SSCG evaluation.

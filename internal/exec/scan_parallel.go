@@ -1,0 +1,427 @@
+// Morsel-driven parallel execution of main-partition scans, probes and
+// tuple materialization (cf. HyPer's morsel-driven parallelism): the row
+// range is carved into fixed-size morsels, workers pull morsels from a
+// shared counter (fast workers steal work from slow ones), and
+// per-morsel results are merged back in morsel order. Because every
+// morsel covers a disjoint ascending row range, the merged output is
+// byte-identical to the serial executor's.
+//
+// Cost accounting follows the same parallel semantics: every worker
+// charges a private virtual clock, and at the phase barrier the shared
+// clock advances by the phase's wall-clock — the slowest worker, which
+// under morsel-balanced scheduling is the per-worker mean — while
+// page-read counts sum. See Clock.Absorb for why the mean stands in
+// for the maximum.
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tierdb/internal/column"
+	"tierdb/internal/device"
+	"tierdb/internal/mvcc"
+	"tierdb/internal/sscg"
+	"tierdb/internal/storage"
+	"tierdb/internal/value"
+)
+
+// DefaultMorselRows is the number of main-partition rows per morsel.
+// Large enough to amortize dispatch, small enough that a query over a
+// million rows yields dozens of units for load balancing.
+const DefaultMorselRows = 16384
+
+// worker carries one worker's execution state for one parallel query: a
+// private virtual clock (merged via Clock.Absorb at the barrier), a
+// timed device view charging that clock, a private SSCG view with its
+// own page-buffer pool, and DRAM cost counters.
+type worker struct {
+	clock       *storage.Clock
+	store       storage.Store
+	group       *sscg.Group
+	touches     int64         // dependent DRAM accesses performed
+	dram        time.Duration // modeled DRAM streaming time
+	rowsScanned int           // scratch: MRC rows scanned this phase
+}
+
+// newWorkers builds the per-worker state for one parallel query. When
+// the table's device is timed, each worker gets a fork charging its
+// private clock at the query's parallelism level, so the device model
+// sees the true stream count.
+func (e *Executor) newWorkers() []*worker {
+	n := e.parallelism
+	base := e.tbl.Store()
+	timed, _ := base.(*storage.TimedStore)
+	group := e.tbl.Group()
+	ws := make([]*worker, n)
+	for i := range ws {
+		w := &worker{}
+		if timed != nil {
+			w.clock = &storage.Clock{}
+			w.store = timed.Fork(w.clock, n)
+		} else {
+			w.store = base
+		}
+		if group != nil {
+			w.group = group.WithBacking(w.store)
+		}
+		ws[i] = w
+	}
+	return ws
+}
+
+// settle charges the parallel phases' modeled cost to the shared
+// clocks: DRAM and device time advance by the phase wall-clock (the
+// per-worker share of the total, i.e. the slowest worker under
+// balanced morsel scheduling), page-read counts by the total.
+func (e *Executor) settle(ws []*worker) {
+	p := time.Duration(e.parallelism)
+	var sum time.Duration
+	for _, w := range ws {
+		sum += w.dram + time.Duration(w.touches)*e.dramTouch
+	}
+	e.charge((sum + p - 1) / p)
+	if timed, ok := e.tbl.Store().(*storage.TimedStore); ok {
+		clocks := make([]*storage.Clock, 0, len(ws))
+		for _, w := range ws {
+			clocks = append(clocks, w.clock)
+		}
+		timed.Clock().Absorb(e.parallelism, clocks...)
+	}
+}
+
+// runMorsels fans nMorsels work units out to the workers. Each worker
+// pulls the next morsel index from a shared counter and runs fn on it.
+// The first error wins: it cancels the remaining morsels, every worker
+// drains promptly, and the error is returned only after all workers
+// have exited — no goroutine outlives the call.
+func runMorsels(ws []*worker, nMorsels int, fn func(w *worker, m int) error) error {
+	if nMorsels <= 0 {
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		once     sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for !failed.Load() {
+				m := int(next.Add(1)) - 1
+				if m >= nMorsels {
+					return
+				}
+				if err := fn(w, m); err != nil {
+					once.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// concat merges per-morsel position lists in morsel order. Every morsel
+// covers a disjoint ascending row range, so the concatenation is
+// globally sorted — the ordered-merge guarantee of the parallel path.
+func concat(parts [][]uint32) []uint32 {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]uint32, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// chunkCount splits n candidates into up to four chunks per worker so
+// morsel stealing can rebalance skew, but never more chunks than items.
+func chunkCount(n, workers int) int {
+	c := 4 * workers
+	if c > n {
+		c = n
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// chunkBounds returns the m-th of n even, order-preserving chunks of a
+// list of length ln.
+func chunkBounds(ln, n, m int) (lo, hi int) {
+	return m * ln / n, (m + 1) * ln / n
+}
+
+// runMainParallel is runMain with morsel-driven workers; it evaluates
+// the ordered predicates over the main partition and returns qualifying
+// positions, identical to the serial path's output.
+func (e *Executor) runMainParallel(preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID) ([]uint32, error) {
+	mainRows := e.tbl.MainRows()
+	if mainRows == 0 {
+		return nil, nil
+	}
+	ws := e.newWorkers()
+	defer e.settle(ws)
+	skip := func(row int) bool {
+		return !e.tbl.MainVersions().Visible(row, snapshot, self)
+	}
+	var cand []uint32
+	first := true
+	for _, p := range preds {
+		var err error
+		cand, err = e.applyMainParallel(p, cand, first, skip, ws)
+		if err != nil {
+			return nil, err
+		}
+		first = false
+		if len(cand) == 0 {
+			return nil, nil
+		}
+	}
+	if first {
+		// No predicates: all visible rows qualify.
+		return e.visibleParallel(mainRows, skip, ws)
+	}
+	return cand, nil
+}
+
+// visibleParallel collects all MVCC-visible main rows morsel-wise.
+func (e *Executor) visibleParallel(mainRows int, skip func(int) bool, ws []*worker) ([]uint32, error) {
+	nMorsels := (mainRows + e.morselRows - 1) / e.morselRows
+	parts := make([][]uint32, nMorsels)
+	err := runMorsels(ws, nMorsels, func(w *worker, m int) error {
+		lo := m * e.morselRows
+		hi := min(lo+e.morselRows, mainRows)
+		var out []uint32
+		for row := lo; row < hi; row++ {
+			if !skip(row) {
+				out = append(out, uint32(row))
+			}
+		}
+		parts[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concat(parts), nil
+}
+
+// applyMainParallel mirrors applyMain — same access-path decisions,
+// same results — with the scan, probe and refinement work fanned out to
+// the worker pool.
+func (e *Executor) applyMainParallel(p Predicate, cand []uint32, first bool, skip func(int) bool, ws []*worker) ([]uint32, error) {
+	mainRows := e.tbl.MainRows()
+
+	// Index access path: the tree descent is DRAM-cheap and stays
+	// single-threaded; subsequent predicates refine in parallel.
+	if idx := e.tbl.Index(p.Column); idx != nil && first {
+		return e.indexLookup(p, skip), nil
+	}
+
+	if mrc := e.tbl.MRC(p.Column); mrc != nil {
+		if first {
+			return e.scanMRCParallel(mrc, p, skip, ws)
+		}
+		return e.probeMRCParallel(mrc, p, cand, ws)
+	}
+
+	// Tiered column (SSCG-placed).
+	gf := e.tbl.GroupField(p.Column)
+	if e.tbl.Group() == nil || gf < 0 {
+		return nil, fmt.Errorf("exec: column %d has no storage (internal layout error)", p.Column)
+	}
+	pred, err := e.compile(p)
+	if err != nil {
+		return nil, err
+	}
+	fraction := 1.0
+	if !first {
+		fraction = float64(len(cand)) / float64(mainRows)
+	}
+	if first || fraction > e.threshold {
+		matches, err := e.scanGroupParallel(gf, pred, skip, ws)
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			return matches, nil
+		}
+		return intersect(cand, matches), nil
+	}
+	return e.probeGroupParallel(gf, pred, cand, ws)
+}
+
+// scanMRCParallel runs the first (DRAM-resident) predicate as a
+// morsel-parallel scan over the compressed column.
+func (e *Executor) scanMRCParallel(mrc *column.MRC, p Predicate, skip func(int) bool, ws []*worker) ([]uint32, error) {
+	mainRows := e.tbl.MainRows()
+	nMorsels := (mainRows + e.morselRows - 1) / e.morselRows
+	parts := make([][]uint32, nMorsels)
+	err := runMorsels(ws, nMorsels, func(w *worker, m int) error {
+		lo := m * e.morselRows
+		hi := min(lo+e.morselRows, mainRows)
+		var out []uint32
+		var err error
+		switch p.Op {
+		case Eq:
+			out, err = mrc.ScanEqualIn(p.Value, lo, hi, nil, skip)
+		default:
+			out, err = mrc.ScanRangeIn(p.Value, p.Hi, lo, hi, nil, skip)
+		}
+		if err != nil {
+			return err
+		}
+		parts[m] = out
+		w.rowsScanned += hi - lo
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Each worker streamed its share of the column's bytes with the
+	// others running concurrently; one latency charge per stream.
+	bytesPerRow := float64(mrc.Bytes()) / float64(mainRows)
+	for _, w := range ws {
+		if w.rowsScanned > 0 {
+			w.dram += device.DRAM.SequentialReadTime(int64(float64(w.rowsScanned)*bytesPerRow), len(ws))
+			w.rowsScanned = 0
+		}
+	}
+	return concat(parts), nil
+}
+
+// probeMRCParallel refines the candidate list against a DRAM column,
+// chunk-wise across workers.
+func (e *Executor) probeMRCParallel(mrc *column.MRC, p Predicate, cand []uint32, ws []*worker) ([]uint32, error) {
+	nChunks := chunkCount(len(cand), len(ws))
+	parts := make([][]uint32, nChunks)
+	err := runMorsels(ws, nChunks, func(w *worker, m int) error {
+		lo, hi := chunkBounds(len(cand), nChunks, m)
+		var out []uint32
+		var err error
+		switch p.Op {
+		case Eq:
+			out, err = mrc.ProbeEqual(p.Value, cand[lo:hi], nil)
+		default:
+			out, err = mrc.ProbeRange(p.Value, p.Hi, cand[lo:hi], nil)
+		}
+		if err != nil {
+			return err
+		}
+		parts[m] = out
+		w.touches += int64(hi - lo)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concat(parts), nil
+}
+
+// scanGroupParallel scans the SSCG morsel-wise. Morsel boundaries align
+// to page boundaries so no page is read by two workers; device time
+// flows through each worker's timed fork onto its private clock.
+func (e *Executor) scanGroupParallel(gf int, pred func(value.Value) bool, skip func(int) bool, ws []*worker) ([]uint32, error) {
+	mainRows := e.tbl.MainRows()
+	align := e.tbl.Group().RowsPerPage()
+	if align < 1 {
+		align = 1 // page-spanning rows: every row owns its pages
+	}
+	morsel := (e.morselRows + align - 1) / align * align
+	nMorsels := (mainRows + morsel - 1) / morsel
+	parts := make([][]uint32, nMorsels)
+	err := runMorsels(ws, nMorsels, func(w *worker, m int) error {
+		lo := m * morsel
+		hi := min(lo+morsel, mainRows)
+		out, err := w.group.ScanRows(gf, pred, lo, hi, nil, skip)
+		if err != nil {
+			return err
+		}
+		parts[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concat(parts), nil
+}
+
+// probeGroupParallel probes candidate positions in the SSCG, chunk-wise
+// across workers (one page access per candidate, overlapped streams).
+func (e *Executor) probeGroupParallel(gf int, pred func(value.Value) bool, cand []uint32, ws []*worker) ([]uint32, error) {
+	nChunks := chunkCount(len(cand), len(ws))
+	parts := make([][]uint32, nChunks)
+	err := runMorsels(ws, nChunks, func(w *worker, m int) error {
+		lo, hi := chunkBounds(len(cand), nChunks, m)
+		out, err := w.group.Probe(gf, pred, cand[lo:hi], nil)
+		if err != nil {
+			return err
+		}
+		parts[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concat(parts), nil
+}
+
+// materializeParallel fills res.Rows chunk-wise across workers. Each
+// output slot is owned by exactly one worker (disjoint index ranges),
+// so no merge is needed and the row order matches the serial path.
+func (e *Executor) materializeParallel(res *Result, project []int) error {
+	ws := e.newWorkers()
+	defer e.settle(ws)
+	mainRows := uint64(e.tbl.MainRows())
+	needGroup := false
+	for _, c := range project {
+		if e.tbl.GroupField(c) >= 0 {
+			needGroup = true
+		}
+	}
+	res.Rows = make([][]value.Value, len(res.IDs))
+	nChunks := chunkCount(len(res.IDs), len(ws))
+	return runMorsels(ws, nChunks, func(w *worker, m int) error {
+		lo, hi := chunkBounds(len(res.IDs), nChunks, m)
+		for i := lo; i < hi; i++ {
+			id := res.IDs[i]
+			row := make([]value.Value, len(project))
+			var groupRow []value.Value
+			if id < mainRows && needGroup && w.group != nil {
+				var err error
+				groupRow, err = w.group.ReadRow(int(id))
+				if err != nil {
+					return err
+				}
+			}
+			for j, c := range project {
+				if id < mainRows {
+					if gf := e.tbl.GroupField(c); gf >= 0 && groupRow != nil {
+						row[j] = groupRow[gf]
+						continue
+					}
+					w.touches += 2 // value vector + dictionary
+				}
+				v, err := e.tbl.GetValue(id, c)
+				if err != nil {
+					return err
+				}
+				row[j] = v
+			}
+			res.Rows[i] = row
+		}
+		return nil
+	})
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tierdb/internal/device"
+	"tierdb/internal/exec"
+	"tierdb/internal/schema"
+	"tierdb/internal/storage"
+	"tierdb/internal/table"
+	"tierdb/internal/value"
+)
+
+// PScan measures the morsel-driven parallel executor end to end: the
+// same range scan runs at parallelism 1, 2, 4 and 8 over a DRAM (MRC)
+// layout and a tiered (SSCG) layout, reporting modeled runtime and the
+// speedup over serial execution. DRAM scans scale until the memory
+// system saturates (4 streams in the device model); tiered scans scale
+// only as far as the device's IO queue depth allows — the asymmetry
+// that drives the paper's placement decisions.
+func PScan(seed int64) (*Report, error) {
+	const rows = 500_000
+	r := &Report{
+		ID:     "pscan",
+		Title:  "Morsel-driven parallel scan: modeled runtime vs parallelism",
+		Header: []string{"Layout", "Parallelism", "Modeled time", "Speedup", "Page reads"},
+	}
+
+	build := func(layout []bool) (*table.Table, *storage.Clock, error) {
+		s := schema.MustNew([]schema.Field{
+			{Name: "id", Type: value.Int64},
+			{Name: "a", Type: value.Int64},
+			{Name: "b", Type: value.Int64},
+		})
+		clock := &storage.Clock{}
+		store := storage.NewTimedStore(storage.NewMemStore(), device.XPoint, clock, 1)
+		tbl, err := table.New("pscan", s, table.Options{Store: store})
+		if err != nil {
+			return nil, nil, err
+		}
+		data := make([][]value.Value, rows)
+		for i := range data {
+			data[i] = []value.Value{
+				value.NewInt(int64(i)),
+				value.NewInt(int64((i + int(seed)) % 100)),
+				value.NewInt(int64(i % 1000)),
+			}
+		}
+		if err := tbl.BulkAppend(data); err != nil {
+			return nil, nil, err
+		}
+		if err := tbl.ApplyLayout(layout); err != nil {
+			return nil, nil, err
+		}
+		return tbl, clock, nil
+	}
+
+	q := exec.Query{Predicates: []exec.Predicate{
+		{Column: 1, Op: exec.Between, Value: value.NewInt(10), Hi: value.NewInt(60)},
+	}}
+	for _, layout := range []struct {
+		name string
+		cols []bool
+	}{
+		{"MRC (DRAM)", []bool{true, true, true}},
+		{"SSCG (tiered)", []bool{true, false, false}},
+	} {
+		tbl, clock, err := build(layout.cols)
+		if err != nil {
+			return nil, err
+		}
+		var serial time.Duration
+		for _, par := range []int{1, 2, 4, 8} {
+			e := exec.New(tbl, exec.Options{Clock: clock, Parallelism: par})
+			clock.Reset()
+			if _, err := e.Run(q, nil); err != nil {
+				return nil, err
+			}
+			elapsed := clock.Elapsed()
+			reads := clock.Reads()
+			if par == 1 {
+				serial = elapsed
+			}
+			r.AddRow(layout.name, fmt.Sprintf("%d", par),
+				elapsed.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.2fx", float64(serial)/float64(elapsed)),
+				fmt.Sprintf("%d", reads))
+		}
+	}
+	r.AddNote("DRAM scans scale with workers until memory bandwidth saturates (4 streams); SSCG scans scale with IO queue depth up to the device's saturation point")
+	r.AddNote("modeled wall time charges the slowest worker's share (see DESIGN.md on parallel cost accounting)")
+	return r, nil
+}

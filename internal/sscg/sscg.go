@@ -164,11 +164,41 @@ func (g *Group) Bytes() int64 { return int64(len(g.pages)) * storage.PageSize }
 // a page wide).
 func (g *Group) PagesPerReconstruction() int { return g.pagesPerRow }
 
+// RowsPerPage returns how many rows share one 4 KB page (0 when a row
+// spans multiple pages). Parallel scans align their morsel boundaries
+// to it so no page is read by two workers.
+func (g *Group) RowsPerPage() int { return g.rowsPerPage }
+
+// WithBacking returns a read-only view of the group whose page reads go
+// through store instead of the group's own. The layout, page ids and
+// cache stay shared; the page buffer pool is private to the view, so
+// parallel workers holding one view each never contend on buffers.
+// Parallel scan workers pass per-worker timed forks of the same device
+// so device time lands on per-worker clocks.
+func (g *Group) WithBacking(store storage.Store) *Group {
+	ng := &Group{
+		fields:      g.fields,
+		offsets:     g.offsets,
+		rowWidth:    g.rowWidth,
+		rows:        g.rows,
+		rowsPerPage: g.rowsPerPage,
+		pagesPerRow: g.pagesPerRow,
+		pages:       g.pages,
+		store:       store,
+		cache:       g.cache,
+	}
+	ng.bufs.New = func() any {
+		b := make([]byte, storage.PageSize)
+		return &b
+	}
+	return ng
+}
+
 // readPage fetches a page via the cache (if configured) or the store,
 // passing the content to fn. The content is only valid during fn.
 func (g *Group) readPage(id storage.PageID, fn func(data []byte) error) error {
 	if g.cache != nil {
-		data, _, err := g.cache.Get(id)
+		data, _, err := g.cache.GetVia(id, g.store)
 		if err != nil {
 			return err
 		}
@@ -290,24 +320,38 @@ func (g *Group) ReadField(row, field int) (value.Value, error) {
 // positions to out; skip (may be nil) masks rows. It reads every page of
 // the group once — the expensive path the placement model avoids.
 func (g *Group) Scan(field int, pred func(value.Value) bool, out []uint32, skip func(int) bool) ([]uint32, error) {
+	return g.ScanRows(field, pred, 0, g.rows, out, skip)
+}
+
+// ScanRows evaluates pred against rows in [rowLo, rowHi), appending
+// matching positions to out in ascending row order. Morsel-driven
+// parallel scans call it with disjoint row ranges; ranges aligned to
+// RowsPerPage boundaries read every covered page exactly once.
+func (g *Group) ScanRows(field int, pred func(value.Value) bool, rowLo, rowHi int, out []uint32, skip func(int) bool) ([]uint32, error) {
 	if err := g.checkField(field); err != nil {
 		return nil, err
 	}
+	if rowLo < 0 {
+		rowLo = 0
+	}
+	if rowHi > g.rows {
+		rowHi = g.rows
+	}
+	if rowLo >= rowHi {
+		return out, nil
+	}
 	fd := g.fields[field]
 	if g.pagesPerRow == 1 {
-		for pageIdx := range g.pages {
+		for pageIdx := rowLo / g.rowsPerPage; pageIdx <= (rowHi-1)/g.rowsPerPage; pageIdx++ {
 			first := pageIdx * g.rowsPerPage
-			n := min(g.rowsPerPage, g.rows-first)
-			if n <= 0 {
-				break
-			}
+			lo := max(first, rowLo)
+			hi := min(first+g.rowsPerPage, rowHi)
 			err := g.readPage(g.pages[pageIdx], func(data []byte) error {
-				for r := 0; r < n; r++ {
-					row := first + r
+				for row := lo; row < hi; row++ {
 					if skip != nil && skip(row) {
 						continue
 					}
-					off := r*g.rowWidth + g.offsets[field]
+					off := (row-first)*g.rowWidth + g.offsets[field]
 					v, err := value.DecodeFixed(fd.Type, data[off:off+fd.SlotWidth()])
 					if err != nil {
 						return err
@@ -324,7 +368,7 @@ func (g *Group) Scan(field int, pred func(value.Value) bool, out []uint32, skip 
 		}
 		return out, nil
 	}
-	for row := 0; row < g.rows; row++ {
+	for row := rowLo; row < rowHi; row++ {
 		if skip != nil && skip(row) {
 			continue
 		}

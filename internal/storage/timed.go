@@ -37,6 +37,36 @@ func (c *Clock) Reset() {
 	c.reads.Store(0)
 }
 
+// Absorb merges per-worker clocks into c after a parallel phase of
+// `workers` concurrent streams: the read count advances by the sum
+// (every page access really happened), the elapsed time by the phase's
+// modeled wall-clock — the slowest worker's share. Morsel-driven
+// scheduling keeps workers balanced, so the slowest worker's time is
+// the per-worker mean, charged here as sum/workers; using the mean
+// rather than the literal maximum keeps the model deterministic even
+// when the Go scheduler hands most morsels to one goroutine (few
+// cores, GOMAXPROCS=1). Workers charging private clocks and one Absorb
+// at the barrier replace a shared hot clock on the scan path.
+func (c *Clock) Absorb(workers int, clocks ...*Clock) {
+	if workers < 1 {
+		workers = 1
+	}
+	var nanos, reads int64
+	for _, w := range clocks {
+		if w == nil {
+			continue
+		}
+		nanos += w.nanos.Load()
+		reads += w.reads.Load()
+	}
+	if nanos > 0 {
+		c.nanos.Add((nanos + int64(workers) - 1) / int64(workers))
+	}
+	if reads > 0 {
+		c.reads.Add(reads)
+	}
+}
+
 // TimedStore wraps a Store and charges modeled device latencies for
 // every page access to a Clock. Threads is the concurrency level the
 // timing model assumes (queue-depth effects).
@@ -61,6 +91,18 @@ func (s *TimedStore) Profile() device.Profile { return s.profile }
 
 // Clock returns the virtual clock time is charged to.
 func (s *TimedStore) Clock() *Clock { return s.clock }
+
+// Fork returns a view of the store that charges the given clock and
+// assumes `threads` concurrent access streams; the underlying device
+// and page data are shared. Parallel scan workers each fork a private
+// clock so device time accumulates without a shared hot counter, and
+// the executor merges the forks back with Clock.Absorb.
+func (s *TimedStore) Fork(clock *Clock, threads int) *TimedStore {
+	if threads < 1 {
+		threads = 1
+	}
+	return &TimedStore{inner: s.inner, profile: s.profile, clock: clock, threads: threads}
+}
 
 // SetThreads adjusts the assumed concurrency level for subsequent
 // accesses.

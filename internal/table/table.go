@@ -112,6 +112,11 @@ func (t *Table) Schema() *schema.Schema { return t.schema }
 // Manager returns the table's transaction manager.
 func (t *Table) Manager() *mvcc.Manager { return t.mgr }
 
+// Store returns the secondary storage device backing the table's SSCGs
+// (immutable after New). The parallel executor inspects it to fork
+// per-worker timed views for virtual-clock accounting.
+func (t *Table) Store() storage.Store { return t.store }
+
 // Delta exposes the delta partition (read-mostly; used by tests and the
 // executor).
 func (t *Table) Delta() *delta.Partition { return t.delta }

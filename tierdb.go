@@ -80,6 +80,10 @@ type Config struct {
 	// Threads is the concurrency level assumed by the device timing
 	// model; defaults to 1.
 	Threads int
+	// Parallelism is the number of worker goroutines for morsel-driven
+	// main-partition scans; values <= 1 select the serial executor.
+	// Results are identical to serial execution at any level.
+	Parallelism int
 	// PageFile, when set, backs pages with a real file at this path
 	// instead of memory (the timing model still applies).
 	PageFile string
@@ -88,14 +92,15 @@ type Config struct {
 // DB is a database instance: a shared transaction manager, a modeled
 // secondary-storage device with a virtual clock, and a set of tables.
 type DB struct {
-	mu      sync.Mutex
-	mgr     *mvcc.Manager
-	clock   *storage.Clock
-	store   storage.Store
-	cache   *amm.Cache
-	profile device.Profile
-	threads int
-	tables  map[string]*Table
+	mu       sync.Mutex
+	mgr      *mvcc.Manager
+	clock    *storage.Clock
+	store    storage.Store
+	cache    *amm.Cache
+	profile  device.Profile
+	threads  int
+	parallel int
+	tables   map[string]*Table
 }
 
 // Open creates a database instance.
@@ -130,13 +135,14 @@ func Open(cfg Config) (*DB, error) {
 		}
 	}
 	return &DB{
-		mgr:     mvcc.NewManager(),
-		clock:   clock,
-		store:   timed,
-		cache:   cache,
-		profile: profile,
-		threads: cfg.Threads,
-		tables:  make(map[string]*Table),
+		mgr:      mvcc.NewManager(),
+		clock:    clock,
+		store:    timed,
+		cache:    cache,
+		profile:  profile,
+		threads:  cfg.Threads,
+		parallel: cfg.Parallelism,
+		tables:   make(map[string]*Table),
 	}, nil
 }
 
@@ -187,8 +193,9 @@ func (db *DB) CreateTable(name string, fields []Field) (*Table, error) {
 // virtual clock.
 func newExecutor(db *DB, inner *table.Table) *exec.Executor {
 	return exec.New(inner, exec.Options{
-		Clock:   db.clock,
-		Threads: db.threads,
+		Clock:       db.clock,
+		Threads:     db.threads,
+		Parallelism: db.parallel,
 	})
 }
 
