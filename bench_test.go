@@ -17,6 +17,7 @@ import (
 	"tierdb/internal/dsm"
 	"tierdb/internal/exec"
 	"tierdb/internal/experiments"
+	"tierdb/internal/metrics"
 	"tierdb/internal/schema"
 	"tierdb/internal/solver"
 	"tierdb/internal/sscg"
@@ -191,6 +192,48 @@ func BenchmarkParallelMRCScan(b *testing.B) {
 			b.ReportMetric(float64(base)/float64(modeled), "modeled_speedup_x")
 		})
 	}
+}
+
+// BenchmarkMetricsOverhead measures what the observability layer costs
+// on the hottest path — the 1 M row parallel MRC range scan of
+// BenchmarkParallelMRCScan — in three configurations: metrics disabled
+// (nil registry: every instrument is a nil no-op), metrics enabled
+// (atomic counters on the batched operator paths), and enabled with a
+// per-query trace. The acceptance budget is <5% wall-clock overhead
+// for the enabled case and ~0 for disabled; compare the ns/op of the
+// sub-benchmarks.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	tbl, _, clock := benchTable(b, 1_000_000, nil)
+	q := exec.Query{Predicates: []exec.Predicate{
+		{Column: 2, Op: exec.Between, Value: value.NewInt(100), Hi: value.NewInt(500)},
+	}}
+	b.Run("disabled", func(b *testing.B) {
+		e := exec.New(tbl, exec.Options{Clock: clock, Parallelism: 4})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(q, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		e := exec.New(tbl, exec.Options{Clock: clock, Parallelism: 4, Registry: metrics.NewRegistry()})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(q, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled+trace", func(b *testing.B) {
+		e := exec.New(tbl, exec.Options{Clock: clock, Parallelism: 4, Registry: metrics.NewRegistry()})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.RunTraced(q, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkConjunctiveQuery(b *testing.B) {

@@ -9,9 +9,20 @@
 //	benchrunner -exp table2 -full
 //	benchrunner -seed 7         # change the workload seed
 //	benchrunner -list           # list experiment ids
+//
+// The "ci" experiment additionally emits a machine-readable artifact
+// for the CI bench-regression gate:
+//
+//	benchrunner -exp ci -json BENCH_ci.json
+//	benchrunner -exp ci -json BENCH_ci.json -baseline bench_baseline.json
+//
+// With -baseline, gate metrics are compared against the checked-in
+// baseline and the run exits non-zero when any cost metric regresses
+// (or any rate falls) by more than -tolerance (default 10 %).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,14 +33,25 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id to run (empty = all)")
-		seed = flag.Int64("seed", 42, "workload generation seed")
-		full = flag.Bool("full", false, "include the largest Table II instances (N=20000, 50000)")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "", "experiment id to run (empty = all)")
+		seed     = flag.Int64("seed", 42, "workload generation seed")
+		full     = flag.Bool("full", false, "include the largest Table II instances (N=20000, 50000)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut  = flag.String("json", "", "write the ci experiment's BenchStats to this file (JSON)")
+		baseline = flag.String("baseline", "", "compare the ci BenchStats against this baseline file; exit 1 on regression")
+		tol      = flag.Float64("tolerance", 0.10, "relative regression tolerance for -baseline (0.10 = 10%)")
 	)
 	flag.Parse()
 
+	var ciStats *experiments.BenchStats
 	runners := map[string]func() (*experiments.Report, error){
+		"ci": func() (*experiments.Report, error) {
+			stats, report, err := experiments.CIBench(*seed)
+			if err == nil {
+				ciStats = &stats
+			}
+			return report, err
+		},
 		"table1": func() (*experiments.Report, error) { return experiments.Table1(*seed) },
 		"fig3":   func() (*experiments.Report, error) { return experiments.Fig3(*seed) },
 		"fig4":   func() (*experiments.Report, error) { return experiments.Fig4(*seed) },
@@ -74,6 +96,44 @@ func main() {
 			continue
 		}
 		fmt.Println(report)
+	}
+
+	if (*jsonOut != "" || *baseline != "") && ciStats == nil {
+		fmt.Fprintln(os.Stderr, "benchrunner: -json/-baseline need the ci experiment (use -exp ci or run all)")
+		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(ciStats, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: encode %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: read baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base experiments.BenchStats
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: parse baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		regressions := experiments.CompareBenchStats(*ciStats, base, *tol)
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "benchrunner: REGRESSION: %s\n", r)
+			}
+			fmt.Fprintf(os.Stderr, "benchrunner: %d gate metric(s) regressed vs %s; see DESIGN.md for the baseline-update procedure\n", len(regressions), *baseline)
+			os.Exit(1)
+		}
+		fmt.Printf("bench gate: all metrics within %.0f%% of %s\n", *tol*100, *baseline)
 	}
 	if failed {
 		os.Exit(1)

@@ -20,6 +20,8 @@
 //	tierctl -workload w.json -budget 1073741824 -method ilp
 //	tierctl -workload w.json -frontier               # Pareto sweep
 //	tierctl -example 50,500 -w 0.3                   # built-in Example 1
+//	tierctl stats -snapshot BENCH_ci.json            # render saved engine metrics
+//	tierctl stats -demo                              # live demo workload + trace
 package main
 
 import (
@@ -102,6 +104,10 @@ func fail(format string, args ...any) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		runStats(os.Args[2:])
+		return
+	}
 	var (
 		workloadPath = flag.String("workload", "", "workload JSON file")
 		example      = flag.String("example", "", "generate Example 1 instead: N,Q[,seed]")

@@ -1,0 +1,138 @@
+// The stats subcommand renders engine metrics as a human-readable
+// report:
+//
+//	tierctl stats -snapshot BENCH_ci.json   # render a saved snapshot
+//	tierctl stats -demo                     # run a demo workload live
+//
+// -snapshot accepts either a raw metrics snapshot or a benchrunner
+// BENCH_*.json artifact (whose "snapshot" field is used).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tierdb"
+	"tierdb/internal/metrics"
+)
+
+func runStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	snapshotPath := fs.String("snapshot", "", "render a saved metrics snapshot or BENCH_*.json artifact")
+	demo := fs.Bool("demo", false, "run a built-in demo workload and print its stats and a query trace")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	switch {
+	case *snapshotPath != "":
+		out, err := renderStatsFile(*snapshotPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(out)
+	case *demo:
+		if err := statsDemo(); err != nil {
+			fail("%v", err)
+		}
+	default:
+		fail("stats needs -snapshot FILE or -demo (see tierctl stats -h)")
+	}
+}
+
+// renderStatsFile loads a snapshot file and renders the report.
+func renderStatsFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	// A benchrunner artifact wraps the snapshot; try that shape first.
+	var artifact struct {
+		Snapshot metrics.Snapshot `json:"snapshot"`
+	}
+	if err := json.Unmarshal(data, &artifact); err != nil {
+		return "", fmt.Errorf("parse %s: %w", path, err)
+	}
+	snap := artifact.Snapshot
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) == 0 {
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return "", fmt.Errorf("parse %s: %w", path, err)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine metrics from %s\n\n", path)
+	b.WriteString(statsReport(snap))
+	return b.String(), nil
+}
+
+// statsReport renders a snapshot with a derived summary ahead of the
+// full instrument dump.
+func statsReport(snap metrics.Snapshot) string {
+	var b strings.Builder
+	if q := snap.Counters["exec.queries"]; q > 0 {
+		fmt.Fprintf(&b, "queries: %d (%d parallel, %d scan-to-probe switchovers)\n",
+			q, snap.Counters["exec.queries.parallel"], snap.Counters["exec.switch.scan_to_probe"])
+	}
+	hits, misses := snap.Counters["amm.hits"], snap.Counters["amm.misses"]
+	if hits+misses > 0 {
+		fmt.Fprintf(&b, "amm hit rate: %.2f%% (%d hits, %d misses, %d evictions)\n",
+			100*float64(hits)/float64(hits+misses), hits, misses, snap.Counters["amm.evictions"])
+	}
+	if begun := snap.Counters["mvcc.tx.begin"]; begun > 0 {
+		fmt.Fprintf(&b, "transactions: %d begun, %d committed, %d aborted\n",
+			begun, snap.Counters["mvcc.tx.commit"], snap.Counters["mvcc.tx.abort"])
+	}
+	if b.Len() > 0 {
+		b.WriteByte('\n')
+	}
+	b.WriteString(snap.Render())
+	return b.String()
+}
+
+// statsDemo opens an in-memory engine, runs a small tiered workload and
+// prints the per-query trace plus the engine-wide report.
+func statsDemo() error {
+	db, err := tierdb.Open(tierdb.Config{Device: "CSSD", CacheFrames: 128})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable("demo", []tierdb.Field{
+		{Name: "id", Type: tierdb.Int64Type},
+		{Name: "region", Type: tierdb.Int64Type},
+		{Name: "amount", Type: tierdb.Int64Type},
+	})
+	if err != nil {
+		return err
+	}
+	rows := make([][]tierdb.Value, 20_000)
+	for i := range rows {
+		rows[i] = []tierdb.Value{
+			tierdb.Int(int64(i)), tierdb.Int(int64(i % 50)), tierdb.Int(int64(i % 1000)),
+		}
+	}
+	if err := tbl.BulkLoad(rows); err != nil {
+		return err
+	}
+	if err := tbl.Inner().ApplyLayout([]bool{true, true, false}); err != nil {
+		return err
+	}
+	region, err := tbl.Eq("region", tierdb.Int(7))
+	if err != nil {
+		return err
+	}
+	amount, err := tbl.Between("amount", tierdb.Int(0), tierdb.Int(500))
+	if err != nil {
+		return err
+	}
+	_, trace, err := tbl.SelectTraced(nil, []tierdb.Predicate{region, amount}, "id")
+	if err != nil {
+		return err
+	}
+	fmt.Println("demo query trace:")
+	fmt.Println(trace)
+	fmt.Println(statsReport(db.Stats()))
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestStatsGolden renders the checked-in snapshot fixture and compares
+// it against the golden report byte for byte; run with -update to
+// regenerate the golden file after an intentional format change.
+func TestStatsGolden(t *testing.T) {
+	out, err := renderStatsFile(filepath.Join("testdata", "stats_snapshot.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "stats_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("stats report drifted from golden file (re-run with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}
+
+// TestStatsRendersRawSnapshot accepts a bare snapshot (no benchrunner
+// wrapper) too.
+func TestStatsRendersRawSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	raw := `{"counters": {"exec.queries": 3, "amm.hits": 1, "amm.misses": 1}}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := renderStatsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"queries: 3", "amm hit rate: 50.00%", "exec.queries"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsFileErrors(t *testing.T) {
+	if _, err := renderStatsFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := renderStatsFile(bad); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}

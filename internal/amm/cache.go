@@ -9,7 +9,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"tierdb/internal/metrics"
 	"tierdb/internal/storage"
 )
 
@@ -54,6 +57,18 @@ type Cache struct {
 	index   map[storage.PageID]int
 	hand    int
 	stats   Stats
+	// pinned counts frames with a nonzero pin count. It is written only
+	// under mu (on 0→1 and 1→0 pin transitions) but read lock-free, so
+	// PinnedFrames never contends with a fault in progress.
+	pinned atomic.Int64
+
+	// Optional observability handles (nil when unobserved; all metrics
+	// instruments are no-ops on nil).
+	cHits      *metrics.Counter
+	cMisses    *metrics.Counter
+	cEvictions *metrics.Counter
+	hFault     *metrics.Histogram
+	gPinned    *metrics.Gauge
 }
 
 // New creates a cache with the given number of page frames in front of
@@ -76,6 +91,39 @@ func New(frames int, backing storage.Store) (*Cache, error) {
 
 // Capacity returns the number of frames.
 func (c *Cache) Capacity() int { return len(c.frames) }
+
+// Observe registers the cache's instruments with a metrics registry:
+// amm.hits / amm.misses / amm.evictions counters, an amm.fault_ns
+// wall-clock fault-latency histogram, and an amm.pinned_frames gauge
+// whose high-watermark records peak pin pressure. A nil registry leaves
+// the cache unobserved at zero cost.
+func (c *Cache) Observe(r *metrics.Registry) {
+	c.cHits = r.Counter("amm.hits")
+	c.cMisses = r.Counter("amm.misses")
+	c.cEvictions = r.Counter("amm.evictions")
+	c.hFault = r.Histogram("amm.fault_ns", metrics.IOLatencyBuckets())
+	c.gPinned = r.Gauge("amm.pinned_frames")
+}
+
+// pinLocked adds one pin to f, maintaining the lock-free pinned-frame
+// count on the 0→1 transition. Caller holds c.mu.
+func (c *Cache) pinLocked(f *frame) {
+	f.pins++
+	if f.pins == 1 {
+		c.pinned.Add(1)
+		c.gPinned.Add(1)
+	}
+}
+
+// unpinLocked removes one pin from f, maintaining the lock-free
+// pinned-frame count on the 1→0 transition. Caller holds c.mu.
+func (c *Cache) unpinLocked(f *frame) {
+	f.pins--
+	if f.pins == 0 {
+		c.pinned.Add(-1)
+		c.gPinned.Add(-1)
+	}
+}
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
@@ -108,9 +156,10 @@ func (c *Cache) GetVia(id storage.PageID, backing storage.Store) ([]byte, bool, 
 		}
 		f := &c.frames[fi]
 		if !f.loading {
-			f.pins++
+			c.pinLocked(f)
 			f.refbit = true
 			c.stats.Hits++
+			c.cHits.Inc()
 			c.mu.Unlock()
 			return f.data, true, nil
 		}
@@ -120,6 +169,7 @@ func (c *Cache) GetVia(id storage.PageID, backing storage.Store) ([]byte, bool, 
 		c.loaded.Wait()
 	}
 	c.stats.Misses++
+	c.cMisses.Inc()
 	fi, err := c.evictLocked()
 	if err != nil {
 		c.mu.Unlock()
@@ -129,7 +179,7 @@ func (c *Cache) GetVia(id storage.PageID, backing storage.Store) ([]byte, bool, 
 	f.id = id
 	f.valid = true
 	f.loading = true
-	f.pins = 1
+	c.pinLocked(f) // evictLocked only yields unpinned frames
 	f.refbit = true
 	c.index[id] = fi
 	// Drop the cache lock during IO so hits on other pages proceed.
@@ -137,12 +187,19 @@ func (c *Cache) GetVia(id storage.PageID, backing storage.Store) ([]byte, bool, 
 	// concurrent readers of the same page off the buffer until the
 	// data is published.
 	c.mu.Unlock()
+	var faultStart time.Time
+	if c.hFault != nil {
+		faultStart = time.Now()
+	}
 	rerr := backing.ReadPage(id, f.data)
+	if c.hFault != nil {
+		c.hFault.Observe(time.Since(faultStart).Nanoseconds())
+	}
 	c.mu.Lock()
 	f.loading = false
 	if rerr != nil {
 		f.valid = false
-		f.pins = 0
+		c.unpinLocked(f)
 		delete(c.index, id)
 	}
 	c.loaded.Broadcast()
@@ -158,7 +215,7 @@ func (c *Cache) Release(id storage.PageID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if fi, ok := c.index[id]; ok && c.frames[fi].pins > 0 {
-		c.frames[fi].pins--
+		c.unpinLocked(&c.frames[fi])
 		if c.frames[fi].pins == 0 {
 			c.loaded.Broadcast() // a writer may be waiting for readers to drain
 		}
@@ -166,18 +223,12 @@ func (c *Cache) Release(id storage.PageID) {
 }
 
 // PinnedFrames returns the number of frames with a nonzero pin count —
-// zero whenever no Get is outstanding. Fault-injection tests use it to
-// prove that error paths leave no frame pinned.
+// zero whenever no Get is outstanding. The count is maintained on pin
+// transitions and read lock-free, so monitoring it never contends with
+// a fault in progress. Fault-injection tests use it to prove that error
+// paths leave no frame pinned.
 func (c *Cache) PinnedFrames() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for i := range c.frames {
-		if c.frames[i].pins > 0 {
-			n++
-		}
-	}
-	return n
+	return int(c.pinned.Load())
 }
 
 // Pin marks a cached page as unevictable until Unpin; it faults the
@@ -218,6 +269,7 @@ func (c *Cache) evictLocked() (int, error) {
 		delete(c.index, f.id)
 		f.valid = false
 		c.stats.Evictions++
+		c.cEvictions.Inc()
 		return idx, nil
 	}
 	return 0, ErrNoEvictableFrame
@@ -249,6 +301,7 @@ func (c *Cache) Write(id storage.PageID, data []byte) error {
 			c.frames[fi].pins = 0
 			c.index[id] = fi
 			c.stats.Misses++
+			c.cMisses.Inc()
 			break
 		}
 		if !c.frames[fi].loading && c.frames[fi].pins == 0 {

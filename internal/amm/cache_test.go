@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"tierdb/internal/metrics"
 	"tierdb/internal/storage"
 )
 
@@ -229,5 +230,70 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	if c.Capacity() != 8 {
 		t.Errorf("Capacity = %d, want 8", c.Capacity())
+	}
+}
+
+// TestCacheObserve drives an observed cache through hits, misses and
+// evictions and checks the registry instruments agree with Stats(),
+// that the fault-latency histogram saw every miss, and that the
+// lock-free pinned-frame count tracks pin/unpin transitions exactly.
+func TestCacheObserve(t *testing.T) {
+	s, ids := newTestStore(t, 4)
+	c, err := New(2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := metrics.NewRegistry()
+	c.Observe(r)
+
+	// Miss, hit (double-pinned), then walk all pages to force evictions.
+	if _, _, err := c.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if c.PinnedFrames() != 1 {
+		t.Errorf("pinned = %d, want 1", c.PinnedFrames())
+	}
+	if _, _, err := c.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if c.PinnedFrames() != 1 {
+		t.Errorf("pinned after re-pin = %d, want 1 (same frame)", c.PinnedFrames())
+	}
+	c.Release(ids[0])
+	if c.PinnedFrames() != 1 {
+		t.Errorf("pinned after first release = %d, want 1", c.PinnedFrames())
+	}
+	c.Release(ids[0])
+	if c.PinnedFrames() != 0 {
+		t.Errorf("pinned after full release = %d, want 0", c.PinnedFrames())
+	}
+	for _, id := range ids {
+		if _, _, err := c.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		c.Release(id)
+	}
+
+	st := c.Stats()
+	snap := r.Snapshot()
+	if got := snap.Counters["amm.hits"]; got != st.Hits {
+		t.Errorf("amm.hits = %d, stats say %d", got, st.Hits)
+	}
+	if got := snap.Counters["amm.misses"]; got != st.Misses {
+		t.Errorf("amm.misses = %d, stats say %d", got, st.Misses)
+	}
+	if got := snap.Counters["amm.evictions"]; got != st.Evictions {
+		t.Errorf("amm.evictions = %d, stats say %d", got, st.Evictions)
+	}
+	if st.Evictions == 0 {
+		t.Error("walk caused no evictions; test is not exercising eviction")
+	}
+	h := snap.Histograms["amm.fault_ns"]
+	if h.Count != st.Misses {
+		t.Errorf("fault histogram saw %d faults, want %d", h.Count, st.Misses)
+	}
+	g := snap.Gauges["amm.pinned_frames"]
+	if g.Value != 0 || g.Max < 1 {
+		t.Errorf("pinned gauge = %+v, want value 0 with max >= 1", g)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"tierdb/internal/bptree"
+	"tierdb/internal/metrics"
 	"tierdb/internal/mvcc"
 	"tierdb/internal/schema"
 	"tierdb/internal/value"
@@ -34,6 +35,11 @@ type Partition struct {
 	schema   *schema.Schema
 	cols     []deltaColumn
 	versions *mvcc.Versions
+
+	// Observability handles (nil → no-op). Visibility checks are counted
+	// batched per scan call, never per row, to keep the hot path cheap.
+	cInserts   *metrics.Counter
+	cVisChecks *metrics.Counter
 }
 
 // New returns an empty delta partition for the given schema.
@@ -52,6 +58,15 @@ func New(s *schema.Schema) *Partition {
 
 // Schema returns the partition's schema.
 func (p *Partition) Schema() *schema.Schema { return p.schema }
+
+// Observe registers the partition's instruments (delta.inserts,
+// delta.visibility_checks) with a metrics registry. A merged-away delta
+// is replaced by a fresh Partition, so the owner must call Observe
+// again after every merge.
+func (p *Partition) Observe(r *metrics.Registry) {
+	p.cInserts = r.Counter("delta.inserts")
+	p.cVisChecks = r.Counter("delta.visibility_checks")
+}
 
 // Versions exposes the MVCC version store for the delta's rows.
 func (p *Partition) Versions() *mvcc.Versions { return p.versions }
@@ -93,6 +108,7 @@ func (p *Partition) Insert(tx *mvcc.Tx, row []value.Value) (int, error) {
 		return 0, fmt.Errorf("delta: %w", err)
 	}
 	p.mu.Lock()
+	p.cInserts.Inc()
 	pos := p.appendRow(row)
 	local := p.versions.AppendPending(tx.ID())
 	if local != pos {
@@ -113,6 +129,7 @@ func (p *Partition) Append(row []value.Value, ts mvcc.Timestamp) (int, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.cInserts.Inc()
 	pos := p.appendRow(row)
 	p.versions.AppendCommitted(ts)
 	return pos, nil
@@ -167,7 +184,9 @@ func (p *Partition) ScanEqual(col int, v value.Value, snapshot mvcc.Timestamp, s
 	if col < 0 || col >= len(p.cols) {
 		return nil, fmt.Errorf("delta: column %d out of range (%d)", col, len(p.cols))
 	}
-	for _, pos := range p.cols[col].tree.Lookup(v) {
+	hits := p.cols[col].tree.Lookup(v)
+	p.cVisChecks.Add(int64(len(hits)))
+	for _, pos := range hits {
 		if p.versions.Visible(int(pos), snapshot, self) {
 			out = append(out, pos)
 		}
@@ -182,7 +201,9 @@ func (p *Partition) ScanRange(col int, lo, hi value.Value, snapshot mvcc.Timesta
 	if col < 0 || col >= len(p.cols) {
 		return nil, fmt.Errorf("delta: column %d out of range (%d)", col, len(p.cols))
 	}
+	var checked int64
 	p.cols[col].tree.Range(lo, hi, func(_ value.Value, positions []uint32) bool {
+		checked += int64(len(positions))
 		for _, pos := range positions {
 			if p.versions.Visible(int(pos), snapshot, self) {
 				out = append(out, pos)
@@ -190,6 +211,7 @@ func (p *Partition) ScanRange(col int, lo, hi value.Value, snapshot mvcc.Timesta
 		}
 		return true
 	})
+	p.cVisChecks.Add(checked)
 	return out, nil
 }
 
@@ -202,6 +224,7 @@ func (p *Partition) VisibleRows(snapshot mvcc.Timestamp, self mvcc.TxID) []int {
 		n = len(p.cols[0].codes)
 	}
 	p.mu.RUnlock()
+	p.cVisChecks.Add(int64(n))
 	out := make([]int, 0, n)
 	for pos := 0; pos < n; pos++ {
 		if p.versions.Visible(pos, snapshot, self) {

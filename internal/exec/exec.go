@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"tierdb/internal/device"
+	"tierdb/internal/metrics"
 	"tierdb/internal/mvcc"
 	"tierdb/internal/storage"
 	"tierdb/internal/table"
@@ -83,6 +84,10 @@ type Options struct {
 	// parallel scans; zero selects DefaultMorselRows. SSCG scan
 	// morsels are additionally aligned to page boundaries.
 	MorselRows int
+	// Registry receives executor metrics (access-path counts, scan-to-
+	// probe switchovers, morsels, rows, modeled DRAM time). Nil runs
+	// unmetered at zero cost.
+	Registry *metrics.Registry
 }
 
 // DefaultProbeThreshold is the paper's scan-to-probe switch point.
@@ -100,6 +105,49 @@ type Executor struct {
 	dramTouch   time.Duration
 	parallelism int
 	morselRows  int
+	m           execInstruments
+}
+
+// execInstruments holds the executor's registry handles, resolved once
+// at construction so the hot paths pay only an atomic add (or nothing:
+// every handle is nil when the registry is nil, and instrument methods
+// are no-ops on nil receivers).
+type execInstruments struct {
+	queries          *metrics.Counter
+	parallelQueries  *metrics.Counter
+	indexLookups     *metrics.Counter
+	mrcScans         *metrics.Counter
+	mrcProbes        *metrics.Counter
+	sscgScans        *metrics.Counter
+	sscgProbes       *metrics.Counter
+	switchovers      *metrics.Counter
+	morsels          *metrics.Counter
+	rowsQualified    *metrics.Counter
+	rowsScanned      *metrics.Counter
+	rowsMaterialized *metrics.Counter
+	dramNs           *metrics.Counter
+	dramScanBytes    *metrics.Counter
+}
+
+// newExecInstruments resolves the executor's instruments from r (all
+// nil for a nil registry).
+func newExecInstruments(r *metrics.Registry) execInstruments {
+	return execInstruments{
+		queries:          r.Counter("exec.queries"),
+		parallelQueries:  r.Counter("exec.queries.parallel"),
+		indexLookups:     r.Counter("exec.path.index_lookups"),
+		mrcScans:         r.Counter("exec.path.mrc_scans"),
+		mrcProbes:        r.Counter("exec.path.mrc_probes"),
+		sscgScans:        r.Counter("exec.path.sscg_scans"),
+		sscgProbes:       r.Counter("exec.path.sscg_probes"),
+		switchovers:      r.Counter("exec.switch.scan_to_probe"),
+		morsels:          r.Counter("exec.morsels"),
+		rowsQualified:    r.Counter("exec.rows.qualified"),
+		rowsScanned:      r.Counter("exec.rows.scanned"),
+		rowsMaterialized: r.Counter("exec.rows.materialized"),
+		dramNs:           r.Counter("exec.dram_ns"),
+		dramScanBytes:    r.Counter("exec.dram.scan_bytes"),
+	}
 }
 
 // New builds an executor for tbl.
@@ -127,29 +175,60 @@ func New(tbl *table.Table, opts Options) *Executor {
 		dramTouch:   opts.DRAMTouch,
 		parallelism: opts.Parallelism,
 		morselRows:  opts.MorselRows,
+		m:           newExecInstruments(opts.Registry),
 	}
 }
 
 // Parallelism returns the configured worker count (1 = serial).
 func (e *Executor) Parallelism() int { return e.parallelism }
 
-// charge adds modeled DRAM time to the clock.
-func (e *Executor) charge(d time.Duration) {
+// charge adds modeled DRAM time to the clock, the exec.dram_ns counter
+// and the active trace (tr may be nil).
+func (e *Executor) charge(tr *metrics.Trace, d time.Duration) {
+	if d <= 0 {
+		return
+	}
 	if e.clock != nil {
 		e.clock.Advance(d)
 	}
+	e.m.dramNs.Add(int64(d))
+	tr.AddDRAM(int64(d))
 }
 
 // chargeTouches charges n dependent DRAM accesses.
-func (e *Executor) chargeTouches(n int) {
-	if e.clock != nil && n > 0 {
-		e.clock.Advance(time.Duration(n) * e.dramTouch)
+func (e *Executor) chargeTouches(tr *metrics.Trace, n int) {
+	if n > 0 {
+		e.charge(tr, time.Duration(n)*e.dramTouch)
 	}
 }
 
 // Run executes q at the transaction's snapshot (tx may be nil for a
 // read at the latest snapshot).
 func (e *Executor) Run(q Query, tx *mvcc.Tx) (*Result, error) {
+	return e.run(q, tx, nil)
+}
+
+// RunTraced is Run with per-query tracing: the returned Trace records
+// the filter ordering chosen, per-operator access paths (including
+// scan-to-probe switchovers), morsels per worker, rows qualified and
+// the modeled cost split per device. The trace's device attribution
+// assumes no concurrent query shares the executor's clock; the trace
+// is partially filled when an error is returned.
+func (e *Executor) RunTraced(q Query, tx *mvcc.Tx) (*Result, *metrics.Trace, error) {
+	tr := &metrics.Trace{
+		Table:          e.tbl.Name(),
+		Parallelism:    e.parallelism,
+		ProbeThreshold: e.threshold,
+	}
+	if timed, ok := e.tbl.Store().(*storage.TimedStore); ok {
+		tr.Device = timed.Profile().Name
+	}
+	res, err := e.run(q, tx, tr)
+	return res, tr, err
+}
+
+// run executes q, filling tr in when non-nil.
+func (e *Executor) run(q Query, tx *mvcc.Tx, tr *metrics.Trace) (*Result, error) {
 	var snapshot mvcc.Timestamp
 	var self mvcc.TxID
 	if tx != nil {
@@ -160,20 +239,48 @@ func (e *Executor) Run(q Query, tx *mvcc.Tx) (*Result, error) {
 	if err := e.checkQuery(q); err != nil {
 		return nil, err
 	}
+	e.m.queries.Inc()
+	if e.parallelism > 1 {
+		e.m.parallelQueries.Inc()
+	}
+
+	// Snapshot the device clock so the trace can attribute modeled
+	// cost and page reads to this query.
+	var devClock *storage.Clock
+	var reads0 int64
+	var elapsed0 time.Duration
+	if tr != nil {
+		if timed, ok := e.tbl.Store().(*storage.TimedStore); ok {
+			devClock = timed.Clock()
+		}
+		if devClock != nil {
+			reads0, elapsed0 = devClock.Reads(), devClock.Elapsed()
+		}
+	}
 
 	ordered := e.orderPredicates(q.Predicates)
+	if tr != nil {
+		for _, p := range ordered {
+			tr.Predicate(metrics.PredicateTrace{
+				Column:               p.Column,
+				Op:                   opName(p.Op),
+				Path:                 e.pathOf(p),
+				EstimatedSelectivity: e.estimateSelectivity(p),
+			})
+		}
+	}
 
 	var mainIDs []uint32
 	var err error
 	if e.parallelism > 1 {
-		mainIDs, err = e.runMainParallel(ordered, snapshot, self)
+		mainIDs, err = e.runMainParallel(ordered, snapshot, self, tr)
 	} else {
-		mainIDs, err = e.runMain(ordered, snapshot, self)
+		mainIDs, err = e.runMain(ordered, snapshot, self, tr)
 	}
 	if err != nil {
 		return nil, err
 	}
-	deltaIDs, err := e.runDelta(ordered, snapshot, self)
+	deltaIDs, err := e.runDelta(ordered, snapshot, self, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -188,15 +295,50 @@ func (e *Executor) Run(q Query, tx *mvcc.Tx) (*Result, error) {
 	}
 	if len(q.Project) > 0 {
 		if e.parallelism > 1 {
-			err = e.materializeParallel(res, q.Project)
+			err = e.materializeParallel(res, q.Project, tr)
 		} else {
-			err = e.materialize(res, q.Project)
+			err = e.materialize(res, q.Project, tr)
 		}
 		if err != nil {
 			return nil, err
 		}
 	}
+	e.m.rowsQualified.Add(int64(len(res.IDs)))
+	if tr != nil {
+		tr.RowsQualified = len(res.IDs)
+		if devClock != nil {
+			tr.PageReads = devClock.Reads() - reads0
+			total := int64(devClock.Elapsed() - elapsed0)
+			if devClock == e.clock {
+				// Shared clock (the tierdb default): the delta includes
+				// the DRAM charges this query made; split them out.
+				tr.DeviceNs = max(total-tr.DRAMNs, 0)
+			} else {
+				tr.DeviceNs = total
+			}
+		}
+	}
 	return res, nil
+}
+
+// opName renders a predicate operator for traces.
+func opName(op Op) string {
+	if op == Between {
+		return "between"
+	}
+	return "eq"
+}
+
+// pathOf returns the access-path rank label of p's column, mirroring
+// orderPredicates' ranking.
+func (e *Executor) pathOf(p Predicate) string {
+	if e.tbl.Index(p.Column) != nil {
+		return "index"
+	}
+	if e.tbl.MRC(p.Column) != nil {
+		return "mrc"
+	}
+	return "sscg"
 }
 
 // checkQuery validates predicate and projection column indexes.
@@ -262,7 +404,7 @@ func (e *Executor) estimateSelectivity(p Predicate) float64 {
 
 // runMain evaluates the ordered predicates over the main partition and
 // returns qualifying main-row positions.
-func (e *Executor) runMain(preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID) ([]uint32, error) {
+func (e *Executor) runMain(preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID, tr *metrics.Trace) ([]uint32, error) {
 	mainRows := e.tbl.MainRows()
 	if mainRows == 0 {
 		return nil, nil
@@ -274,7 +416,7 @@ func (e *Executor) runMain(preds []Predicate, snapshot mvcc.Timestamp, self mvcc
 	first := true
 	for _, p := range preds {
 		var err error
-		cand, err = e.applyMain(p, cand, first, skip)
+		cand, err = e.applyMain(p, cand, first, skip, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -290,40 +432,76 @@ func (e *Executor) runMain(preds []Predicate, snapshot mvcc.Timestamp, self mvcc
 				cand = append(cand, uint32(row))
 			}
 		}
+		e.m.rowsScanned.Add(int64(mainRows))
+		tr.Op(metrics.OperatorTrace{
+			Name: "visible", Partition: "main", Column: -1,
+			RowsIn: mainRows, RowsOut: len(cand),
+		})
 	}
 	return cand, nil
 }
 
 // applyMain evaluates one predicate over the main partition, narrowing
 // the candidate list (nil on the first predicate).
-func (e *Executor) applyMain(p Predicate, cand []uint32, first bool, skip func(int) bool) ([]uint32, error) {
+func (e *Executor) applyMain(p Predicate, cand []uint32, first bool, skip func(int) bool, tr *metrics.Trace) ([]uint32, error) {
 	mainRows := e.tbl.MainRows()
 
 	// Index access path (always DRAM-resident).
 	if idx := e.tbl.Index(p.Column); idx != nil && first {
-		return e.indexLookup(p, skip), nil
+		out := e.indexLookup(p, skip, tr)
+		e.m.indexLookups.Inc()
+		tr.Op(metrics.OperatorTrace{
+			Name: "index", Partition: "main", Path: "index", Column: p.Column,
+			RowsIn: mainRows, RowsOut: len(out),
+		})
+		return out, nil
 	}
 
 	if mrc := e.tbl.MRC(p.Column); mrc != nil {
 		if first {
 			// Full scan on the compressed DRAM column.
-			e.charge(device.DRAM.SequentialReadTime(mrc.Bytes(), e.threads))
+			e.charge(tr, device.DRAM.SequentialReadTime(mrc.Bytes(), e.threads))
+			e.m.mrcScans.Inc()
+			e.m.rowsScanned.Add(int64(mainRows))
+			e.m.dramScanBytes.Add(mrc.Bytes())
+			var out []uint32
+			var err error
 			switch p.Op {
 			case Eq:
-				return mrc.ScanEqual(p.Value, nil, skip)
+				out, err = mrc.ScanEqual(p.Value, nil, skip)
 			default:
-				return mrc.ScanRange(p.Value, p.Hi, nil, skip)
+				out, err = mrc.ScanRange(p.Value, p.Hi, nil, skip)
 			}
+			if err != nil {
+				return nil, err
+			}
+			tr.Op(metrics.OperatorTrace{
+				Name: "scan", Partition: "main", Path: "mrc", Column: p.Column,
+				RowsIn: mainRows, RowsOut: len(out),
+			})
+			return out, nil
 		}
 		// Subsequent predicate: probe the candidate list (always
 		// cheaper than re-scanning DRAM).
-		e.chargeTouches(len(cand))
+		e.chargeTouches(tr, len(cand))
+		e.m.mrcProbes.Inc()
+		e.m.rowsScanned.Add(int64(len(cand)))
+		var out []uint32
+		var err error
 		switch p.Op {
 		case Eq:
-			return mrc.ProbeEqual(p.Value, cand, nil)
+			out, err = mrc.ProbeEqual(p.Value, cand, nil)
 		default:
-			return mrc.ProbeRange(p.Value, p.Hi, cand, nil)
+			out, err = mrc.ProbeRange(p.Value, p.Hi, cand, nil)
 		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Op(metrics.OperatorTrace{
+			Name: "probe", Partition: "main", Path: "mrc", Column: p.Column,
+			RowsIn: len(cand), RowsOut: len(out),
+		})
+		return out, nil
 	}
 
 	// Tiered column (SSCG-placed).
@@ -342,24 +520,49 @@ func (e *Executor) applyMain(p Predicate, cand []uint32, first bool, skip func(i
 	}
 	if first || fraction > e.threshold {
 		// Scan the whole group (reads every page), then intersect.
+		e.m.sscgScans.Inc()
+		e.m.rowsScanned.Add(int64(mainRows))
 		matches, err := group.Scan(gf, pred, nil, skip)
 		if err != nil {
 			return nil, err
 		}
-		if first {
-			return matches, nil
+		out := matches
+		if !first {
+			out = intersect(cand, matches)
 		}
-		return intersect(cand, matches), nil
+		op := metrics.OperatorTrace{
+			Name: "scan", Partition: "main", Path: "sscg", Column: p.Column,
+			RowsIn: mainRows, RowsOut: len(out),
+		}
+		if !first {
+			op.RowsIn, op.CandidateFraction = len(cand), fraction
+		}
+		tr.Op(op)
+		return out, nil
 	}
-	// Probe: one page access per candidate.
-	return group.Probe(gf, pred, cand, nil)
+	// Probe: one page access per candidate. This is the paper's
+	// scan-to-probe switchover — the candidate fraction fell below the
+	// threshold, so per-candidate page accesses beat a full scan.
+	e.m.sscgProbes.Inc()
+	e.m.switchovers.Inc()
+	e.m.rowsScanned.Add(int64(len(cand)))
+	out, err := group.Probe(gf, pred, cand, nil)
+	if err != nil {
+		return nil, err
+	}
+	tr.Op(metrics.OperatorTrace{
+		Name: "probe", Partition: "main", Path: "sscg", Column: p.Column,
+		SwitchedToProbe: true, CandidateFraction: fraction,
+		RowsIn: len(cand), RowsOut: len(out),
+	})
+	return out, nil
 }
 
 // indexLookup resolves a predicate through the column's B+-tree index,
 // returning visible matching positions in ascending row order. Shared
 // by the serial and parallel paths (index descent is DRAM-cheap and
 // stays single-threaded either way).
-func (e *Executor) indexLookup(p Predicate, skip func(int) bool) []uint32 {
+func (e *Executor) indexLookup(p Predicate, skip func(int) bool, tr *metrics.Trace) []uint32 {
 	idx := e.tbl.Index(p.Column)
 	var positions []uint32
 	collect := func(_ value.Value, rows []uint32) bool {
@@ -372,7 +575,7 @@ func (e *Executor) indexLookup(p Predicate, skip func(int) bool) []uint32 {
 	case Between:
 		idx.Range(p.Value, p.Hi, collect)
 	}
-	e.chargeTouches(20 + len(positions)) // tree descent + leaf reads
+	e.chargeTouches(tr, 20+len(positions)) // tree descent + leaf reads
 	out := positions[:0]
 	for _, pos := range positions {
 		if !skip(int(pos)) {
@@ -404,9 +607,10 @@ func (e *Executor) compile(p Predicate) (func(value.Value) bool, error) {
 }
 
 // runDelta evaluates predicates over the delta partition.
-func (e *Executor) runDelta(preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID) ([]uint32, error) {
+func (e *Executor) runDelta(preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID, tr *metrics.Trace) ([]uint32, error) {
 	d := e.tbl.Delta()
-	if d.Rows() == 0 {
+	deltaRows := d.Rows()
+	if deltaRows == 0 {
 		return nil, nil
 	}
 	if len(preds) == 0 {
@@ -415,6 +619,10 @@ func (e *Executor) runDelta(preds []Predicate, snapshot mvcc.Timestamp, self mvc
 		for i, r := range rows {
 			out[i] = uint32(r)
 		}
+		tr.Op(metrics.OperatorTrace{
+			Name: "visible", Partition: "delta", Column: -1,
+			RowsIn: deltaRows, RowsOut: len(out),
+		})
 		return out, nil
 	}
 	var cand []uint32
@@ -430,8 +638,13 @@ func (e *Executor) runDelta(preds []Predicate, snapshot mvcc.Timestamp, self mvc
 			if err != nil {
 				return nil, err
 			}
-			e.chargeTouches(20 + len(cand))
+			e.chargeTouches(tr, 20+len(cand))
+			tr.Op(metrics.OperatorTrace{
+				Name: "scan", Partition: "delta", Path: "index", Column: p.Column,
+				RowsIn: deltaRows, RowsOut: len(cand),
+			})
 		} else {
+			in := len(cand)
 			pred, err := e.compile(p)
 			if err != nil {
 				return nil, err
@@ -447,7 +660,11 @@ func (e *Executor) runDelta(preds []Predicate, snapshot mvcc.Timestamp, self mvc
 				}
 			}
 			cand = out
-			e.chargeTouches(len(cand))
+			e.chargeTouches(tr, len(cand))
+			tr.Op(metrics.OperatorTrace{
+				Name: "probe", Partition: "delta", Column: p.Column,
+				RowsIn: in, RowsOut: len(cand),
+			})
 		}
 		if len(cand) == 0 {
 			return nil, nil
@@ -460,7 +677,7 @@ func (e *Executor) runDelta(preds []Predicate, snapshot mvcc.Timestamp, self mvc
 // materialize fills res.Rows with the projected columns of each
 // qualifying row. For main-partition rows with SSCG-placed projections,
 // one group page access delivers all grouped attributes of a row.
-func (e *Executor) materialize(res *Result, project []int) error {
+func (e *Executor) materialize(res *Result, project []int, tr *metrics.Trace) error {
 	mainRows := uint64(e.tbl.MainRows())
 	group := e.tbl.Group()
 	needGroup := false
@@ -486,7 +703,7 @@ func (e *Executor) materialize(res *Result, project []int) error {
 					row[j] = groupRow[gf]
 					continue
 				}
-				e.chargeTouches(2) // value vector + dictionary
+				e.chargeTouches(tr, 2) // value vector + dictionary
 			}
 			v, err := e.tbl.GetValue(id, c)
 			if err != nil {
@@ -496,6 +713,11 @@ func (e *Executor) materialize(res *Result, project []int) error {
 		}
 		res.Rows[i] = row
 	}
+	e.m.rowsMaterialized.Add(int64(len(res.IDs)))
+	tr.Op(metrics.OperatorTrace{
+		Name: "materialize", Partition: "main", Column: -1,
+		RowsIn: len(res.IDs), RowsOut: len(res.IDs),
+	})
 	return nil
 }
 

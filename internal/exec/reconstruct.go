@@ -20,7 +20,7 @@ func (e *Executor) Reconstruct(id table.RowID) ([]value.Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.chargeTouches(len(row))
+		e.chargeTouches(nil, len(row))
 		return row, nil
 	}
 	n := e.tbl.Schema().Len()
@@ -33,7 +33,7 @@ func (e *Executor) Reconstruct(id table.RowID) ([]value.Value, error) {
 			groupAttrs++
 		}
 	}
-	e.chargeTouches(2*mrcAttrs + groupAttrs)
+	e.chargeTouches(nil, 2*mrcAttrs+groupAttrs)
 	return e.tbl.GetTuple(id)
 }
 
@@ -48,7 +48,7 @@ func (e *Executor) Sum(col int, ids []table.RowID) (float64, error) {
 	var total float64
 	for _, id := range ids {
 		if e.tbl.MRC(col) != nil || id >= uint64(e.tbl.MainRows()) {
-			e.chargeTouches(2)
+			e.chargeTouches(nil, 2)
 		}
 		v, err := e.tbl.GetValue(id, col)
 		if err != nil {
@@ -70,7 +70,7 @@ func (e *Executor) Sum(col int, ids []table.RowID) (float64, error) {
 func (e *Executor) JoinProbe(col int, ids []table.RowID, build map[value.Value][]table.RowID) ([][2]table.RowID, error) {
 	var out [][2]table.RowID
 	for _, id := range ids {
-		e.chargeTouches(3) // key fetch + hash probe
+		e.chargeTouches(nil, 3) // key fetch + hash probe
 		v, err := e.tbl.GetValue(id, col)
 		if err != nil {
 			return nil, err
@@ -86,7 +86,7 @@ func (e *Executor) JoinProbe(col int, ids []table.RowID, build map[value.Value][
 func (e *Executor) BuildJoinMap(col int, ids []table.RowID) (map[value.Value][]table.RowID, error) {
 	m := make(map[value.Value][]table.RowID, len(ids))
 	for _, id := range ids {
-		e.chargeTouches(3)
+		e.chargeTouches(nil, 3)
 		v, err := e.tbl.GetValue(id, col)
 		if err != nil {
 			return nil, err
@@ -107,7 +107,7 @@ func (e *Executor) GroupBySum(groupCol, aggCol int, ids []table.RowID) (map[valu
 	}
 	out := make(map[value.Value]float64)
 	for _, id := range ids {
-		e.chargeTouches(4) // group key + aggregate fetches
+		e.chargeTouches(nil, 4) // group key + aggregate fetches
 		g, err := e.tbl.GetValue(id, groupCol)
 		if err != nil {
 			return nil, err

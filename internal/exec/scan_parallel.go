@@ -22,6 +22,7 @@ import (
 
 	"tierdb/internal/column"
 	"tierdb/internal/device"
+	"tierdb/internal/metrics"
 	"tierdb/internal/mvcc"
 	"tierdb/internal/sscg"
 	"tierdb/internal/storage"
@@ -44,6 +45,7 @@ type worker struct {
 	touches     int64         // dependent DRAM accesses performed
 	dram        time.Duration // modeled DRAM streaming time
 	rowsScanned int           // scratch: MRC rows scanned this phase
+	morsels     int64         // morsels this worker executed (for traces)
 }
 
 // newWorkers builds the per-worker state for one parallel query. When
@@ -75,14 +77,24 @@ func (e *Executor) newWorkers() []*worker {
 // settle charges the parallel phases' modeled cost to the shared
 // clocks: DRAM and device time advance by the phase wall-clock (the
 // per-worker share of the total, i.e. the slowest worker under
-// balanced morsel scheduling), page-read counts by the total.
-func (e *Executor) settle(ws []*worker) {
+// balanced morsel scheduling), page-read counts by the total. It also
+// reports per-worker morsel counts to the metrics registry and the
+// active trace.
+func (e *Executor) settle(ws []*worker, tr *metrics.Trace) {
 	p := time.Duration(e.parallelism)
 	var sum time.Duration
-	for _, w := range ws {
+	var morsels int64
+	counts := make([]int64, len(ws))
+	for i, w := range ws {
 		sum += w.dram + time.Duration(w.touches)*e.dramTouch
+		morsels += w.morsels
+		counts[i] = w.morsels
 	}
-	e.charge((sum + p - 1) / p)
+	e.charge(tr, (sum+p-1)/p)
+	if morsels > 0 {
+		e.m.morsels.Add(morsels)
+		tr.AddWorkerMorsels(counts)
+	}
 	if timed, ok := e.tbl.Store().(*storage.TimedStore); ok {
 		clocks := make([]*storage.Clock, 0, len(ws))
 		for _, w := range ws {
@@ -90,6 +102,16 @@ func (e *Executor) settle(ws []*worker) {
 		}
 		timed.Clock().Absorb(e.parallelism, clocks...)
 	}
+}
+
+// morselsOf sums the workers' executed-morsel counters; the delta
+// around an operator yields that operator's morsel count for traces.
+func morselsOf(ws []*worker) int64 {
+	var n int64
+	for _, w := range ws {
+		n += w.morsels
+	}
+	return n
 }
 
 // runMorsels fans nMorsels work units out to the workers. Each worker
@@ -117,6 +139,7 @@ func runMorsels(ws []*worker, nMorsels int, fn func(w *worker, m int) error) err
 				if m >= nMorsels {
 					return
 				}
+				w.morsels++
 				if err := fn(w, m); err != nil {
 					once.Do(func() { firstErr = err })
 					failed.Store(true)
@@ -166,13 +189,13 @@ func chunkBounds(ln, n, m int) (lo, hi int) {
 // runMainParallel is runMain with morsel-driven workers; it evaluates
 // the ordered predicates over the main partition and returns qualifying
 // positions, identical to the serial path's output.
-func (e *Executor) runMainParallel(preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID) ([]uint32, error) {
+func (e *Executor) runMainParallel(preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID, tr *metrics.Trace) ([]uint32, error) {
 	mainRows := e.tbl.MainRows()
 	if mainRows == 0 {
 		return nil, nil
 	}
 	ws := e.newWorkers()
-	defer e.settle(ws)
+	defer e.settle(ws, tr)
 	skip := func(row int) bool {
 		return !e.tbl.MainVersions().Visible(row, snapshot, self)
 	}
@@ -180,7 +203,7 @@ func (e *Executor) runMainParallel(preds []Predicate, snapshot mvcc.Timestamp, s
 	first := true
 	for _, p := range preds {
 		var err error
-		cand, err = e.applyMainParallel(p, cand, first, skip, ws)
+		cand, err = e.applyMainParallel(p, cand, first, skip, ws, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -191,15 +214,16 @@ func (e *Executor) runMainParallel(preds []Predicate, snapshot mvcc.Timestamp, s
 	}
 	if first {
 		// No predicates: all visible rows qualify.
-		return e.visibleParallel(mainRows, skip, ws)
+		return e.visibleParallel(mainRows, skip, ws, tr)
 	}
 	return cand, nil
 }
 
 // visibleParallel collects all MVCC-visible main rows morsel-wise.
-func (e *Executor) visibleParallel(mainRows int, skip func(int) bool, ws []*worker) ([]uint32, error) {
+func (e *Executor) visibleParallel(mainRows int, skip func(int) bool, ws []*worker, tr *metrics.Trace) ([]uint32, error) {
 	nMorsels := (mainRows + e.morselRows - 1) / e.morselRows
 	parts := make([][]uint32, nMorsels)
+	before := morselsOf(ws)
 	err := runMorsels(ws, nMorsels, func(w *worker, m int) error {
 		lo := m * e.morselRows
 		hi := min(lo+e.morselRows, mainRows)
@@ -215,26 +239,62 @@ func (e *Executor) visibleParallel(mainRows int, skip func(int) bool, ws []*work
 	if err != nil {
 		return nil, err
 	}
-	return concat(parts), nil
+	e.m.rowsScanned.Add(int64(mainRows))
+	out := concat(parts)
+	tr.Op(metrics.OperatorTrace{
+		Name: "visible", Partition: "main", Column: -1,
+		RowsIn: mainRows, RowsOut: len(out), Morsels: int(morselsOf(ws) - before),
+	})
+	return out, nil
 }
 
 // applyMainParallel mirrors applyMain — same access-path decisions,
 // same results — with the scan, probe and refinement work fanned out to
 // the worker pool.
-func (e *Executor) applyMainParallel(p Predicate, cand []uint32, first bool, skip func(int) bool, ws []*worker) ([]uint32, error) {
+func (e *Executor) applyMainParallel(p Predicate, cand []uint32, first bool, skip func(int) bool, ws []*worker, tr *metrics.Trace) ([]uint32, error) {
 	mainRows := e.tbl.MainRows()
 
 	// Index access path: the tree descent is DRAM-cheap and stays
 	// single-threaded; subsequent predicates refine in parallel.
 	if idx := e.tbl.Index(p.Column); idx != nil && first {
-		return e.indexLookup(p, skip), nil
+		out := e.indexLookup(p, skip, tr)
+		e.m.indexLookups.Inc()
+		tr.Op(metrics.OperatorTrace{
+			Name: "index", Partition: "main", Path: "index", Column: p.Column,
+			RowsIn: mainRows, RowsOut: len(out),
+		})
+		return out, nil
 	}
+
+	before := morselsOf(ws)
+	opMorsels := func() int { return int(morselsOf(ws) - before) }
 
 	if mrc := e.tbl.MRC(p.Column); mrc != nil {
 		if first {
-			return e.scanMRCParallel(mrc, p, skip, ws)
+			e.m.mrcScans.Inc()
+			e.m.rowsScanned.Add(int64(mainRows))
+			e.m.dramScanBytes.Add(mrc.Bytes())
+			out, err := e.scanMRCParallel(mrc, p, skip, ws)
+			if err != nil {
+				return nil, err
+			}
+			tr.Op(metrics.OperatorTrace{
+				Name: "scan", Partition: "main", Path: "mrc", Column: p.Column,
+				RowsIn: mainRows, RowsOut: len(out), Morsels: opMorsels(),
+			})
+			return out, nil
 		}
-		return e.probeMRCParallel(mrc, p, cand, ws)
+		e.m.mrcProbes.Inc()
+		e.m.rowsScanned.Add(int64(len(cand)))
+		out, err := e.probeMRCParallel(mrc, p, cand, ws)
+		if err != nil {
+			return nil, err
+		}
+		tr.Op(metrics.OperatorTrace{
+			Name: "probe", Partition: "main", Path: "mrc", Column: p.Column,
+			RowsIn: len(cand), RowsOut: len(out), Morsels: opMorsels(),
+		})
+		return out, nil
 	}
 
 	// Tiered column (SSCG-placed).
@@ -251,16 +311,40 @@ func (e *Executor) applyMainParallel(p Predicate, cand []uint32, first bool, ski
 		fraction = float64(len(cand)) / float64(mainRows)
 	}
 	if first || fraction > e.threshold {
+		e.m.sscgScans.Inc()
+		e.m.rowsScanned.Add(int64(mainRows))
 		matches, err := e.scanGroupParallel(gf, pred, skip, ws)
 		if err != nil {
 			return nil, err
 		}
-		if first {
-			return matches, nil
+		out := matches
+		if !first {
+			out = intersect(cand, matches)
 		}
-		return intersect(cand, matches), nil
+		op := metrics.OperatorTrace{
+			Name: "scan", Partition: "main", Path: "sscg", Column: p.Column,
+			RowsIn: mainRows, RowsOut: len(out), Morsels: opMorsels(),
+		}
+		if !first {
+			op.RowsIn, op.CandidateFraction = len(cand), fraction
+		}
+		tr.Op(op)
+		return out, nil
 	}
-	return e.probeGroupParallel(gf, pred, cand, ws)
+	// Scan-to-probe switchover, as on the serial path.
+	e.m.sscgProbes.Inc()
+	e.m.switchovers.Inc()
+	e.m.rowsScanned.Add(int64(len(cand)))
+	out, err := e.probeGroupParallel(gf, pred, cand, ws)
+	if err != nil {
+		return nil, err
+	}
+	tr.Op(metrics.OperatorTrace{
+		Name: "probe", Partition: "main", Path: "sscg", Column: p.Column,
+		SwitchedToProbe: true, CandidateFraction: fraction,
+		RowsIn: len(cand), RowsOut: len(out), Morsels: opMorsels(),
+	})
+	return out, nil
 }
 
 // scanMRCParallel runs the first (DRAM-resident) predicate as a
@@ -381,9 +465,18 @@ func (e *Executor) probeGroupParallel(gf int, pred func(value.Value) bool, cand 
 // materializeParallel fills res.Rows chunk-wise across workers. Each
 // output slot is owned by exactly one worker (disjoint index ranges),
 // so no merge is needed and the row order matches the serial path.
-func (e *Executor) materializeParallel(res *Result, project []int) error {
+func (e *Executor) materializeParallel(res *Result, project []int, tr *metrics.Trace) error {
 	ws := e.newWorkers()
-	defer e.settle(ws)
+	defer e.settle(ws, tr)
+	before := morselsOf(ws)
+	defer func() {
+		e.m.rowsMaterialized.Add(int64(len(res.IDs)))
+		tr.Op(metrics.OperatorTrace{
+			Name: "materialize", Column: -1,
+			RowsIn: len(res.IDs), RowsOut: len(res.IDs),
+			Morsels: int(morselsOf(ws) - before),
+		})
+	}()
 	mainRows := uint64(e.tbl.MainRows())
 	needGroup := false
 	for _, c := range project {

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCIBenchDeterministic runs the CI workload twice and requires
+// bit-identical gate metrics — the property the CI regression gate
+// stands on.
+func TestCIBenchDeterministic(t *testing.T) {
+	a, reportA, err := CIBench(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := CIBench(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Metrics) == 0 {
+		t.Fatal("no gate metrics")
+	}
+	for name, va := range a.Metrics {
+		if vb := b.Metrics[name]; va != vb {
+			t.Errorf("metric %s not deterministic: %g vs %g", name, va, vb)
+		}
+	}
+	for _, name := range []string{
+		"modeled_total_ns", "amm_hit_rate", "page_reads", "switchovers",
+	} {
+		if a.Metrics[name] <= 0 {
+			t.Errorf("gate metric %s = %g, want > 0", name, a.Metrics[name])
+		}
+	}
+	if a.Metrics["amm_hit_rate"] >= 1 {
+		t.Errorf("hit rate %g leaves no room for misses; workload too small for the cache", a.Metrics["amm_hit_rate"])
+	}
+	if !strings.Contains(reportA.String(), "amm_hit_rate") {
+		t.Error("report misses amm_hit_rate")
+	}
+	// The artifact must survive a JSON roundtrip unchanged (CI writes
+	// it to disk and compares a parsed copy).
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchStats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(CompareBenchStats(back, a, 0)) != 0 {
+		t.Error("JSON roundtrip changed gate metrics")
+	}
+}
+
+// TestCompareBenchStats injects regressions in both directions and
+// checks the gate catches them — and only them.
+func TestCompareBenchStats(t *testing.T) {
+	base := BenchStats{Metrics: map[string]float64{
+		"modeled_total_ns": 1_000_000,
+		"amm_hit_rate":     0.5,
+		"page_reads":       100,
+		"switchovers":      2,
+	}}
+
+	clone := func() BenchStats {
+		m := map[string]float64{}
+		for k, v := range base.Metrics {
+			m[k] = v
+		}
+		return BenchStats{Metrics: m}
+	}
+
+	if regs := CompareBenchStats(clone(), base, 0.10); len(regs) != 0 {
+		t.Errorf("identical stats flagged: %v", regs)
+	}
+
+	// Within tolerance: 5% slower passes a 10% gate.
+	ok := clone()
+	ok.Metrics["modeled_total_ns"] *= 1.05
+	if regs := CompareBenchStats(ok, base, 0.10); len(regs) != 0 {
+		t.Errorf("5%% drift flagged under 10%% tolerance: %v", regs)
+	}
+
+	// Injected cost regression: >10% more modeled time must fail.
+	slow := clone()
+	slow.Metrics["modeled_total_ns"] *= 1.2
+	regs := CompareBenchStats(slow, base, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "modeled_total_ns") {
+		t.Errorf("20%% cost regression not caught: %v", regs)
+	}
+
+	// Injected rate regression: hit rate falling >10% must fail.
+	cold := clone()
+	cold.Metrics["amm_hit_rate"] = 0.4
+	regs = CompareBenchStats(cold, base, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "amm_hit_rate") {
+		t.Errorf("hit-rate regression not caught: %v", regs)
+	}
+	// A rate going UP is an improvement, not a regression.
+	warm := clone()
+	warm.Metrics["amm_hit_rate"] = 0.9
+	if regs := CompareBenchStats(warm, base, 0.10); len(regs) != 0 {
+		t.Errorf("hit-rate improvement flagged: %v", regs)
+	}
+
+	// Informational metrics (no direction rule) never gate.
+	drift := clone()
+	drift.Metrics["switchovers"] = 50
+	if regs := CompareBenchStats(drift, base, 0.10); len(regs) != 0 {
+		t.Errorf("informational metric gated: %v", regs)
+	}
+
+	// Dropping a baseline metric fails loudly.
+	missing := clone()
+	delete(missing.Metrics, "page_reads")
+	regs = CompareBenchStats(missing, base, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Errorf("missing metric not caught: %v", regs)
+	}
+}

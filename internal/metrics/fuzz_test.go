@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"testing"
+)
+
+// FuzzRegistry drives the registry with an arbitrary op sequence and
+// cross-checks every instrument against a shadow ledger: whatever
+// byte-soup the fuzzer invents, counters must equal the sum of their
+// adds, gauges must track value and high-watermark exactly, and
+// histogram count/sum/bucket totals must stay consistent. Run in CI's
+// fuzz smoke job (-fuzz FuzzRegistry -fuzztime 30s).
+func FuzzRegistry(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte("counter gauge histogram snapshot"))
+	f.Add([]byte{255, 0, 128, 7, 7, 7, 64, 32})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewRegistry()
+		names := []string{"a", "b.c", "d.e.f", ""}
+		counters := map[string]int64{}
+		gaugeVals := map[string]int64{}
+		gaugeMax := map[string]int64{}
+		histCount := map[string]int64{}
+		histSum := map[string]int64{}
+
+		for i := 0; i+2 < len(data); i += 3 {
+			op, who, arg := data[i]%5, names[int(data[i+1])%len(names)], int64(int8(data[i+2]))
+			switch op {
+			case 0:
+				r.Counter(who).Add(arg)
+				counters[who] += arg
+			case 1:
+				r.Gauge(who).Add(arg)
+				gaugeVals[who] += arg
+				if gaugeVals[who] > gaugeMax[who] {
+					gaugeMax[who] = gaugeVals[who]
+				}
+			case 2:
+				r.Gauge(who).Set(arg)
+				gaugeVals[who] = arg
+				if arg > gaugeMax[who] {
+					gaugeMax[who] = arg
+				}
+			case 3:
+				r.Histogram(who, []int64{-10, 0, 10, 100}).Observe(arg)
+				histCount[who]++
+				histSum[who] += arg
+			case 4:
+				// Snapshot mid-stream must not disturb anything.
+				_ = r.Snapshot().Render()
+			}
+		}
+
+		snap := r.Snapshot()
+		for who, want := range counters {
+			if got := snap.Counters[who]; got != want {
+				t.Fatalf("counter %q = %d, want %d", who, got, want)
+			}
+		}
+		for who, want := range gaugeVals {
+			g := snap.Gauges[who]
+			if g.Value != want {
+				t.Fatalf("gauge %q = %d, want %d", who, g.Value, want)
+			}
+			if g.Max != gaugeMax[who] {
+				t.Fatalf("gauge %q max = %d, want %d", who, g.Max, gaugeMax[who])
+			}
+		}
+		for who, want := range histCount {
+			h := snap.Histograms[who]
+			if h.Count != want {
+				t.Fatalf("histogram %q count = %d, want %d", who, h.Count, want)
+			}
+			if h.Sum != histSum[who] {
+				t.Fatalf("histogram %q sum = %d, want %d", who, h.Sum, histSum[who])
+			}
+			var buckets int64
+			for _, b := range h.Buckets {
+				buckets += b.Count
+			}
+			if buckets != want {
+				t.Fatalf("histogram %q buckets sum to %d, want %d", who, buckets, want)
+			}
+		}
+	})
+}

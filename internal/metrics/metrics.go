@@ -1,0 +1,376 @@
+// Package metrics is the engine-wide observability layer: a
+// lightweight, race-safe registry of named instruments (atomic
+// counters, gauges with high-watermarks, bounded histograms) plus the
+// per-query Trace object the executor fills in. It has no external
+// dependencies and is designed so that a disabled registry costs
+// nothing on the hot paths: a nil *Registry hands out nil instruments,
+// and every instrument method is a no-op on a nil receiver — call
+// sites need no branches.
+//
+// The placement model (internal/core, internal/forecast) is only as
+// good as the runtime statistics feeding it; this package is where the
+// executor, the AMM page cache, the device models and the delta/MVCC
+// layers report what actually happened, and what cmd/benchrunner
+// serializes into the BENCH_*.json artifacts the CI regression gate
+// compares across commits.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods
+// are safe for concurrent use and are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that also tracks its high-watermark.
+// All methods are safe for concurrent use and no-ops on a nil receiver.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Add moves the gauge by delta and raises the high-watermark if the
+// new value exceeds it.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.raise(g.v.Add(delta))
+}
+
+// Set replaces the gauge value and raises the high-watermark if needed.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.raise(v)
+}
+
+// raise lifts the high-watermark to at least v.
+func (g *Gauge) raise(v int64) {
+	for {
+		cur := g.max.Load()
+		if v <= cur || g.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-watermark (0 on a nil receiver).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram is a bounded histogram over int64 observations (typically
+// nanoseconds): a fixed set of ascending upper bounds plus an overflow
+// bucket. Observations are atomic; memory is fixed at construction.
+// All methods are safe for concurrent use and no-ops on a nil receiver.
+type Histogram struct {
+	bounds  []int64 // ascending inclusive upper bounds
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// newHistogram builds a histogram with the given ascending bounds.
+func newHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; past-the-end selects the
+	// overflow bucket.
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// ExpBuckets returns n ascending bounds starting at start, each factor
+// times the previous — the standard shape for IO latency histograms.
+func ExpBuckets(start int64, factor float64, n int) []int64 {
+	if start < 1 {
+		start = 1
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int64, n)
+	f := float64(start)
+	for i := range out {
+		out[i] = int64(f)
+		f *= factor
+	}
+	return out
+}
+
+// IOLatencyBuckets covers 1 µs .. ~17 s in powers of two — wide enough
+// for DRAM faults and spun-down HDDs alike.
+func IOLatencyBuckets() []int64 { return ExpBuckets(1_000, 2, 25) }
+
+// Registry is a named set of instruments. Looking an instrument up is
+// mutex-protected (do it once at setup); using an instrument is purely
+// atomic. A nil *Registry is valid and hands out nil instruments, so a
+// component observed with a nil registry runs unmetered at zero cost.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a valid no-op instrument) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later calls keep the original bounds). Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// GaugeSnapshot is the frozen state of one gauge.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// Bucket is one histogram bucket: observations <= Le (the overflow
+// bucket has Le == -1).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the frozen state of one histogram; only
+// non-empty buckets are kept.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a frozen, JSON-serializable view of a registry. This is
+// what tierdb.Stats() returns, what `tierctl stats` renders, and what
+// cmd/benchrunner embeds in its BENCH_*.json artifacts.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current values. Safe to call
+// concurrently with instrument updates; a nil registry yields an empty
+// snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]GaugeSnapshot{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeSnapshot{Value: g.Value(), Max: g.Max()}
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		for i := range h.buckets {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			le := int64(-1)
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, Bucket{Le: le, Count: n})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Render formats the snapshot as an aligned, alphabetically sorted
+// human-readable report (the `tierctl stats` output).
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	section := func(title string) { fmt.Fprintf(&b, "== %s ==\n", title) }
+	if len(s.Counters) > 0 {
+		section("counters")
+		names := sortedKeys(s.Counters)
+		w := maxWidth(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "%-*s  %d\n", w, n, s.Counters[n])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		section("gauges")
+		names := sortedKeys(s.Gauges)
+		w := maxWidth(names)
+		for _, n := range names {
+			g := s.Gauges[n]
+			fmt.Fprintf(&b, "%-*s  %d (max %d)\n", w, n, g.Value, g.Max)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		section("histograms")
+		names := sortedKeys(s.Histograms)
+		for _, n := range names {
+			h := s.Histograms[n]
+			mean := int64(0)
+			if h.Count > 0 {
+				mean = h.Sum / h.Count
+			}
+			fmt.Fprintf(&b, "%s: count=%d sum=%d mean=%d\n", n, h.Count, h.Sum, mean)
+			for _, bk := range h.Buckets {
+				if bk.Le < 0 {
+					fmt.Fprintf(&b, "  le=+Inf  %d\n", bk.Count)
+				} else {
+					fmt.Fprintf(&b, "  le=%-12d %d\n", bk.Le, bk.Count)
+				}
+			}
+		}
+	}
+	if b.Len() == 0 {
+		return "(no metrics recorded)\n"
+	}
+	return b.String()
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// maxWidth returns the length of the longest string.
+func maxWidth(names []string) int {
+	w := 0
+	for _, n := range names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	return w
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"tierdb/internal/metrics"
 )
 
 // Timestamp is a commit timestamp. Snapshot isolation: a transaction
@@ -76,6 +78,13 @@ type Manager struct {
 	mu         sync.Mutex
 	lastCommit Timestamp
 	nextTx     TxID
+
+	// Per-transaction lifecycle counters (nil → no-op). Visibility
+	// checks are deliberately not counted here: they run per row on the
+	// scan hot path and are accounted batched by the callers instead.
+	cBegin  *metrics.Counter
+	cCommit *metrics.Counter
+	cAbort  *metrics.Counter
 }
 
 // NewManager returns a manager; timestamp 0 is "before all data", so
@@ -84,12 +93,21 @@ func NewManager() *Manager {
 	return &Manager{lastCommit: 1, nextTx: 1}
 }
 
+// Observe registers transaction-lifecycle counters (mvcc.tx.begin,
+// mvcc.tx.commit, mvcc.tx.abort) with a metrics registry.
+func (m *Manager) Observe(r *metrics.Registry) {
+	m.cBegin = r.Counter("mvcc.tx.begin")
+	m.cCommit = r.Counter("mvcc.tx.commit")
+	m.cAbort = r.Counter("mvcc.tx.abort")
+}
+
 // Begin starts a transaction reading the latest committed snapshot.
 func (m *Manager) Begin() *Tx {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	tx := &Tx{id: m.nextTx, snapshot: m.lastCommit, mgr: m}
 	m.nextTx++
+	m.cBegin.Inc()
 	return tx
 }
 
@@ -115,6 +133,7 @@ func (m *Manager) Commit(t *Tx) (Timestamp, error) {
 		fn(ts)
 	}
 	t.status = Committed
+	m.cCommit.Inc()
 	return ts, nil
 }
 
@@ -127,6 +146,7 @@ func (m *Manager) Abort(t *Tx) error {
 		t.onAbort[i]()
 	}
 	t.status = Aborted
+	m.cAbort.Inc()
 	return nil
 }
 

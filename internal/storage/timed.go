@@ -1,10 +1,12 @@
 package storage
 
 import (
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"tierdb/internal/device"
+	"tierdb/internal/metrics"
 )
 
 // Clock accumulates modeled device time. It is the virtual clock the
@@ -75,6 +77,54 @@ type TimedStore struct {
 	profile device.Profile
 	clock   *Clock
 	threads int
+	m       storeInstruments
+}
+
+// storeInstruments holds the per-device metric handles. It is embedded
+// by value, so Fork copies the handles and worker views feed the same
+// instruments; all handles are nil (no-op) on unobserved stores.
+type storeInstruments struct {
+	pageReads      *metrics.Counter
+	pageWrites     *metrics.Counter
+	readBytes      *metrics.Counter
+	writeBytes     *metrics.Counter
+	modeledReadNs  *metrics.Counter
+	modeledWriteNs *metrics.Counter
+}
+
+// Observe registers per-device IO instruments named
+// device.<name>.{page_reads,page_writes,read_bytes,write_bytes,
+// modeled_read_ns,modeled_write_ns}, where <name> is the device
+// profile's name sanitized for the metric namespace ("3D XPoint" →
+// "3d_xpoint"). A nil registry leaves the store unobserved.
+func (s *TimedStore) Observe(r *metrics.Registry) {
+	p := "device." + metricName(s.profile.Name)
+	s.m = storeInstruments{
+		pageReads:      r.Counter(p + ".page_reads"),
+		pageWrites:     r.Counter(p + ".page_writes"),
+		readBytes:      r.Counter(p + ".read_bytes"),
+		writeBytes:     r.Counter(p + ".write_bytes"),
+		modeledReadNs:  r.Counter(p + ".modeled_read_ns"),
+		modeledWriteNs: r.Counter(p + ".modeled_write_ns"),
+	}
+}
+
+// metricName lowercases a device name and folds every non-alphanumeric
+// run into underscores so it can serve as a metric-name segment.
+func metricName(name string) string {
+	if name == "" {
+		return "unknown"
+	}
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
 }
 
 // NewTimedStore wraps inner with the timing model of profile, charging
@@ -101,7 +151,7 @@ func (s *TimedStore) Fork(clock *Clock, threads int) *TimedStore {
 	if threads < 1 {
 		threads = 1
 	}
-	return &TimedStore{inner: s.inner, profile: s.profile, clock: clock, threads: threads}
+	return &TimedStore{inner: s.inner, profile: s.profile, clock: clock, threads: threads, m: s.m}
 }
 
 // SetThreads adjusts the assumed concurrency level for subsequent
@@ -115,14 +165,21 @@ func (s *TimedStore) SetThreads(threads int) {
 
 // ReadPage implements Store, charging one random-read latency.
 func (s *TimedStore) ReadPage(id PageID, buf []byte) error {
-	s.clock.Advance(s.profile.RandomReadTime(1, s.threads))
+	d := s.profile.RandomReadTime(1, s.threads)
+	s.clock.Advance(d)
 	s.clock.reads.Add(1)
+	s.m.pageReads.Inc()
+	s.m.readBytes.Add(PageSize)
+	s.m.modeledReadNs.Add(int64(d))
 	return s.inner.ReadPage(id, buf)
 }
 
 // WritePage implements Store, charging one write latency.
 func (s *TimedStore) WritePage(id PageID, buf []byte) error {
 	s.clock.Advance(s.profile.WriteLatency)
+	s.m.pageWrites.Inc()
+	s.m.writeBytes.Add(PageSize)
+	s.m.modeledWriteNs.Add(int64(s.profile.WriteLatency))
 	return s.inner.WritePage(id, buf)
 }
 

@@ -17,6 +17,7 @@ import (
 	"tierdb/internal/column"
 	"tierdb/internal/delta"
 	"tierdb/internal/histogram"
+	"tierdb/internal/metrics"
 	"tierdb/internal/mvcc"
 	"tierdb/internal/schema"
 	"tierdb/internal/sscg"
@@ -39,16 +40,22 @@ type Options struct {
 	Cache *amm.Cache
 	// Manager supplies transactions; defaults to a fresh manager.
 	Manager *mvcc.Manager
+	// Registry receives the table's instruments (delta counters,
+	// table.merges); nil disables them. The table keeps the registry so
+	// it can re-observe the fresh delta partition created by each merge.
+	Registry *metrics.Registry
 }
 
 // Table is a tiered HTAP table.
 type Table struct {
-	mu     sync.RWMutex
-	name   string
-	schema *schema.Schema
-	mgr    *mvcc.Manager
-	store  storage.Store
-	cache  *amm.Cache
+	mu       sync.RWMutex
+	name     string
+	schema   *schema.Schema
+	mgr      *mvcc.Manager
+	store    storage.Store
+	cache    *amm.Cache
+	registry *metrics.Registry
+	cMerges  *metrics.Counter
 
 	// Main partition (immutable between merges).
 	mainRows     int
@@ -89,6 +96,8 @@ func New(name string, s *schema.Schema, opts Options) (*Table, error) {
 		mgr:          opts.Manager,
 		store:        opts.Store,
 		cache:        opts.Cache,
+		registry:     opts.Registry,
+		cMerges:      opts.Registry.Counter("table.merges"),
 		layout:       layout,
 		mrcs:         make([]*column.MRC, s.Len()),
 		groupIdx:     make([]int, s.Len()),
@@ -97,6 +106,7 @@ func New(name string, s *schema.Schema, opts Options) (*Table, error) {
 		indexes:      make(map[int]*bptree.Tree),
 		distinct:     make([]int, s.Len()),
 	}
+	t.delta.Observe(t.registry)
 	for i := range t.groupIdx {
 		t.groupIdx[i] = -1
 	}
@@ -440,8 +450,10 @@ func (t *Table) merge(layout []bool) error {
 	t.groupIdx = groupIdx
 	t.mainVersions = versions
 	t.delta = delta.New(t.schema)
+	t.delta.Observe(t.registry) // fresh partition, fresh handles
 	t.distinct = distinct
 	t.hists = hists
+	t.cMerges.Inc()
 
 	// Rebuild indexes over the new main partition.
 	for col := range t.indexes {

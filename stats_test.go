@@ -1,0 +1,112 @@
+package tierdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDBStats drives a small workload through the public API and checks
+// the engine-wide snapshot reflects it across layers: executor,
+// transactions, delta, AMM cache and the device model.
+func TestDBStats(t *testing.T) {
+	db, tbl := openLoaded(t, 2000)
+
+	// Evict two columns so queries touch the device through the cache.
+	layout := []bool{true, true, false, false}
+	if err := tbl.Inner().ApplyLayout(layout); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert([]Value{Int(9001), Int(1), Float(1), String("x")}); err != nil {
+		t.Fatal(err)
+	}
+	region, err := tbl.Eq("region", Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	amount, err := tbl.Between("amount", Float(0), Float(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Select(nil, []Predicate{region, amount}, "id"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := db.Stats()
+	for _, name := range []string{
+		"exec.queries", "exec.rows.qualified", "exec.rows.scanned",
+		"mvcc.tx.begin", "mvcc.tx.commit", "delta.inserts", "table.merges",
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if snap.Counters["amm.hits"]+snap.Counters["amm.misses"] <= 0 {
+		t.Error("cache saw no traffic")
+	}
+	if snap.Counters["device.3d_xpoint.page_reads"] <= 0 {
+		t.Error("device model saw no page reads")
+	}
+	if !strings.Contains(snap.Render(), "exec.queries") {
+		t.Error("render misses exec.queries")
+	}
+}
+
+// TestSelectTraced checks the public traced-query path end to end.
+func TestSelectTraced(t *testing.T) {
+	db, tbl := openLoaded(t, 2000)
+	region, err := tbl.Eq("region", Int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, tr, err := tbl.SelectTraced(nil, []Predicate{region}, "id", "amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || tr.Table != "orders" || tr.Device != "3D XPoint" {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if tr.RowsQualified != len(res.IDs) || len(res.IDs) != 250 {
+		t.Errorf("rows = %d (trace %d), want 250", len(res.IDs), tr.RowsQualified)
+	}
+	if len(tr.Predicates) != 1 || len(tr.Operators) == 0 {
+		t.Errorf("trace content: predicates=%d operators=%d", len(tr.Predicates), len(tr.Operators))
+	}
+	if tr.DRAMNs <= 0 {
+		t.Error("trace has no modeled DRAM cost")
+	}
+	// Traced queries feed the plan cache like Select.
+	if db == nil || tbl.PlanCache().Len() == 0 {
+		t.Error("traced query not recorded in plan cache")
+	}
+}
+
+// TestDisableMetrics proves the off switch: no registry, empty
+// snapshot, queries still run.
+func TestDisableMetrics(t *testing.T) {
+	db, err := Open(Config{DisableMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Registry() != nil {
+		t.Error("disabled instance has a registry")
+	}
+	tbl, err := db.CreateTable("t", testFields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.BulkLoad([][]Value{{Int(1), Int(2), Float(3), String("a")}}); err != nil {
+		t.Fatal(err)
+	}
+	region, err := tbl.Eq("region", Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Select(nil, []Predicate{region})
+	if err != nil || len(res.IDs) != 1 {
+		t.Fatalf("select on unmetered db: %v, %d rows", err, len(res.IDs))
+	}
+	snap := db.Stats()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Errorf("disabled metrics produced a non-empty snapshot: %+v", snap)
+	}
+}

@@ -111,6 +111,31 @@ func (t *Table) Select(tx *Tx, predicates []Predicate, project ...string) (*Sele
 	return t.exec.Run(exec.Query{Predicates: predicates, Project: proj}, tx)
 }
 
+// SelectTraced is Select with per-query tracing: the returned trace
+// records the filter ordering chosen, per-operator access paths
+// (including scan-to-probe switchovers), morsels per worker, rows
+// qualified and the modeled cost split per device. Traced queries feed
+// the plan cache exactly like Select.
+func (t *Table) SelectTraced(tx *Tx, predicates []Predicate, project ...string) (*SelectResult, *QueryTrace, error) {
+	proj := make([]int, 0, len(project))
+	for _, name := range project {
+		c := t.inner.Schema().IndexOf(name)
+		if c < 0 {
+			return nil, nil, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), name)
+		}
+		proj = append(proj, c)
+	}
+	cols := make([]int, 0, len(predicates))
+	for _, p := range predicates {
+		cols = append(cols, p.Column)
+	}
+	if len(cols) > 0 {
+		t.plans.Record(cols)
+		t.history.Record(cols)
+	}
+	return t.exec.RunTraced(exec.Query{Predicates: predicates, Project: proj}, tx)
+}
+
 // Get reconstructs a full tuple by row id.
 func (t *Table) Get(id RowID) ([]Value, error) {
 	return t.exec.Reconstruct(id)

@@ -31,6 +31,7 @@ import (
 	"tierdb/internal/amm"
 	"tierdb/internal/device"
 	"tierdb/internal/exec"
+	"tierdb/internal/metrics"
 	"tierdb/internal/mvcc"
 	"tierdb/internal/schema"
 	"tierdb/internal/storage"
@@ -50,6 +51,12 @@ type (
 	Tx = mvcc.Tx
 	// DeviceProfile describes a secondary-storage device model.
 	DeviceProfile = device.Profile
+	// StatsSnapshot is a point-in-time copy of every engine metric; see
+	// DB.Stats.
+	StatsSnapshot = metrics.Snapshot
+	// QueryTrace records what one traced query execution did; see
+	// Table.SelectTraced.
+	QueryTrace = metrics.Trace
 )
 
 // Value constructors.
@@ -87,6 +94,10 @@ type Config struct {
 	// PageFile, when set, backs pages with a real file at this path
 	// instead of memory (the timing model still applies).
 	PageFile string
+	// DisableMetrics turns the engine's observability layer off. Metrics
+	// are on by default; disabled instances hand out nil instruments,
+	// which cost nothing on the hot paths.
+	DisableMetrics bool
 }
 
 // DB is a database instance: a shared transaction manager, a modeled
@@ -100,6 +111,7 @@ type DB struct {
 	profile  device.Profile
 	threads  int
 	parallel int
+	registry *metrics.Registry
 	tables   map[string]*Table
 }
 
@@ -127,24 +139,43 @@ func Open(cfg Config) (*DB, error) {
 	}
 	clock := &storage.Clock{}
 	timed := storage.NewTimedStore(base, profile, clock, cfg.Threads)
+	var registry *metrics.Registry
+	if !cfg.DisableMetrics {
+		registry = metrics.NewRegistry()
+	}
+	timed.Observe(registry)
 	var cache *amm.Cache
 	if cfg.CacheFrames > 0 {
 		cache, err = amm.New(cfg.CacheFrames, timed)
 		if err != nil {
 			return nil, err
 		}
+		cache.Observe(registry)
 	}
+	mgr := mvcc.NewManager()
+	mgr.Observe(registry)
 	return &DB{
-		mgr:      mvcc.NewManager(),
+		mgr:      mgr,
 		clock:    clock,
 		store:    timed,
 		cache:    cache,
 		profile:  profile,
 		threads:  cfg.Threads,
 		parallel: cfg.Parallelism,
+		registry: registry,
 		tables:   make(map[string]*Table),
 	}, nil
 }
+
+// Registry exposes the engine's metrics registry (nil when metrics are
+// disabled); advanced callers register their own instruments on it.
+func (db *DB) Registry() *metrics.Registry { return db.registry }
+
+// Stats returns a point-in-time snapshot of every engine metric:
+// executor access-path counts, AMM cache effectiveness, per-device IO,
+// delta and transaction activity. The zero snapshot is returned when
+// metrics are disabled.
+func (db *DB) Stats() StatsSnapshot { return db.registry.Snapshot() }
 
 // Clock returns the virtual clock accumulating modeled device and DRAM
 // time; experiment harnesses report its Elapsed as "measured" runtime.
@@ -177,9 +208,10 @@ func (db *DB) CreateTable(name string, fields []Field) (*Table, error) {
 		return nil, fmt.Errorf("tierdb: table %q already exists", name)
 	}
 	inner, err := table.New(name, s, table.Options{
-		Store:   db.store,
-		Cache:   db.cache,
-		Manager: db.mgr,
+		Store:    db.store,
+		Cache:    db.cache,
+		Manager:  db.mgr,
+		Registry: db.registry,
 	})
 	if err != nil {
 		return nil, err
@@ -196,6 +228,7 @@ func newExecutor(db *DB, inner *table.Table) *exec.Executor {
 		Clock:       db.clock,
 		Threads:     db.threads,
 		Parallelism: db.parallel,
+		Registry:    db.registry,
 	})
 }
 
