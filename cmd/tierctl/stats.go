@@ -84,6 +84,12 @@ func statsReport(snap metrics.Snapshot) string {
 		fmt.Fprintf(&b, "transactions: %d begun, %d committed, %d aborted\n",
 			begun, snap.Counters["mvcc.tx.commit"], snap.Counters["mvcc.tx.abort"])
 	}
+	if swaps := snap.Counters["merge.swaps"]; swaps > 0 || snap.Counters["merge.failures"] > 0 {
+		fmt.Fprintf(&b, "merges: %d online swaps (%d rows folded, %d stragglers re-based, %d failures); delta %d active / %d frozen rows\n",
+			swaps, snap.Counters["merge.rows"], snap.Counters["merge.stragglers"],
+			snap.Counters["merge.failures"],
+			snap.Gauges["delta.active_rows"].Value, snap.Gauges["delta.frozen_rows"].Value)
+	}
 	if b.Len() > 0 {
 		b.WriteByte('\n')
 	}

@@ -332,6 +332,34 @@ func (c *Cache) Flush() error {
 	return nil
 }
 
+// Invalidate drops the given pages from the cache without writing dirty
+// data back. The merge calls it before returning a retired SSCG's pages
+// to the store freelist, so a recycled page id can never serve stale
+// bytes. It waits for in-flight pins and loads on those pages to drain
+// (by the time a group is freed no reader should reference it, so the
+// wait is normally instant).
+func (c *Cache) Invalidate(ids []storage.PageID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		for {
+			fi, ok := c.index[id]
+			if !ok {
+				break
+			}
+			f := &c.frames[fi]
+			if f.loading || f.pins > 0 {
+				c.loaded.Wait()
+				continue // re-check: the frame may have moved or settled
+			}
+			delete(c.index, id)
+			f.valid = false
+			f.dirty = false
+			break
+		}
+	}
+}
+
 // Drop invalidates every unpinned frame without writing dirty data back;
 // test helper for fault-injection scenarios.
 func (c *Cache) Drop() {

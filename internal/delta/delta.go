@@ -8,6 +8,7 @@
 package delta
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -17,6 +18,12 @@ import (
 	"tierdb/internal/schema"
 	"tierdb/internal/value"
 )
+
+// ErrFrozen is returned when inserting into a frozen partition. The
+// online merge freezes the delta it is about to fold into the main
+// partition; new writes belong in the fresh active delta the table
+// opened in the same critical section.
+var ErrFrozen = errors.New("delta: partition is frozen")
 
 // deltaColumn is one attribute of the delta: an unsorted dictionary
 // (insertion order) plus the per-row code vector and a B+-tree value
@@ -35,6 +42,7 @@ type Partition struct {
 	schema   *schema.Schema
 	cols     []deltaColumn
 	versions *mvcc.Versions
+	frozen   bool
 
 	// Observability handles (nil → no-op). Visibility checks are counted
 	// batched per scan call, never per row, to keep the hot path cheap.
@@ -70,6 +78,46 @@ func (p *Partition) Observe(r *metrics.Registry) {
 
 // Versions exposes the MVCC version store for the delta's rows.
 func (p *Partition) Versions() *mvcc.Versions { return p.versions }
+
+// Freeze marks the partition immutable for inserts: Insert, Append and
+// AdoptRow fail with ErrFrozen from now on. Deletes (pure version-store
+// updates) and in-flight commit callbacks still resolve, so readers and
+// writers that raced the freeze finish normally; the physical row set is
+// fixed, which is what lets the merge rebuild off the partition without
+// holding any table lock.
+func (p *Partition) Freeze() {
+	p.mu.Lock()
+	p.frozen = true
+	p.mu.Unlock()
+}
+
+// Frozen reports whether the partition has been frozen.
+func (p *Partition) Frozen() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.frozen
+}
+
+// AdoptRow appends a row carrying explicit begin/end version timestamps
+// (end == mvcc.Infinity for a live row). The merge swap uses it to
+// re-base frozen-delta rows that committed after the rebuild snapshot
+// into the new active delta, preserving their commit history so every
+// open snapshot keeps its exact visibility.
+func (p *Partition) AdoptRow(row []value.Value, begin, end mvcc.Timestamp) (int, error) {
+	if err := p.schema.CheckRow(row); err != nil {
+		return 0, fmt.Errorf("delta: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.frozen {
+		return 0, ErrFrozen
+	}
+	pos := p.appendRow(row)
+	if local := p.versions.AppendAt(begin, end); local != pos {
+		return 0, fmt.Errorf("delta: version store out of sync: row %d vs %d", local, pos)
+	}
+	return pos, nil
+}
 
 // Rows returns the number of physically stored rows (including
 // uncommitted and deleted ones).
@@ -108,6 +156,10 @@ func (p *Partition) Insert(tx *mvcc.Tx, row []value.Value) (int, error) {
 		return 0, fmt.Errorf("delta: %w", err)
 	}
 	p.mu.Lock()
+	if p.frozen {
+		p.mu.Unlock()
+		return 0, ErrFrozen
+	}
 	p.cInserts.Inc()
 	pos := p.appendRow(row)
 	local := p.versions.AppendPending(tx.ID())
@@ -129,6 +181,9 @@ func (p *Partition) Append(row []value.Value, ts mvcc.Timestamp) (int, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.frozen {
+		return 0, ErrFrozen
+	}
 	p.cInserts.Inc()
 	pos := p.appendRow(row)
 	p.versions.AppendCommitted(ts)

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"tierdb/internal/delta"
 	"tierdb/internal/device"
 	"tierdb/internal/metrics"
 	"tierdb/internal/mvcc"
@@ -244,6 +245,13 @@ func (e *Executor) run(q Query, tx *mvcc.Tx, tr *metrics.Trace) (*Result, error)
 		e.m.parallelQueries.Inc()
 	}
 
+	// Pin the table's structure for the whole query: an online merge
+	// swapping the main partition mid-query cannot tear the reads, and
+	// the epoch reference keeps the pinned SSCG's pages allocated until
+	// Release.
+	v := e.tbl.Pin()
+	defer v.Release()
+
 	// Snapshot the device clock so the trace can attribute modeled
 	// cost and page reads to this query.
 	var devClock *storage.Clock
@@ -258,13 +266,13 @@ func (e *Executor) run(q Query, tx *mvcc.Tx, tr *metrics.Trace) (*Result, error)
 		}
 	}
 
-	ordered := e.orderPredicates(q.Predicates)
+	ordered := e.orderPredicates(v, q.Predicates)
 	if tr != nil {
 		for _, p := range ordered {
 			tr.Predicate(metrics.PredicateTrace{
 				Column:               p.Column,
 				Op:                   opName(p.Op),
-				Path:                 e.pathOf(p),
+				Path:                 e.pathOf(v, p),
 				EstimatedSelectivity: e.estimateSelectivity(p),
 			})
 		}
@@ -273,14 +281,14 @@ func (e *Executor) run(q Query, tx *mvcc.Tx, tr *metrics.Trace) (*Result, error)
 	var mainIDs []uint32
 	var err error
 	if e.parallelism > 1 {
-		mainIDs, err = e.runMainParallel(ordered, snapshot, self, tr)
+		mainIDs, err = e.runMainParallel(v, ordered, snapshot, self, tr)
 	} else {
-		mainIDs, err = e.runMain(ordered, snapshot, self, tr)
+		mainIDs, err = e.runMain(v, ordered, snapshot, self, tr)
 	}
 	if err != nil {
 		return nil, err
 	}
-	deltaIDs, err := e.runDelta(ordered, snapshot, self, tr)
+	deltaIDs, err := e.runDelta(v, ordered, snapshot, self, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -289,15 +297,15 @@ func (e *Executor) run(q Query, tx *mvcc.Tx, tr *metrics.Trace) (*Result, error)
 	for _, p := range mainIDs {
 		res.IDs = append(res.IDs, table.RowID(p))
 	}
-	mainRows := uint64(e.tbl.MainRows())
+	mainRows := uint64(v.MainRows())
 	for _, p := range deltaIDs {
 		res.IDs = append(res.IDs, mainRows+uint64(p))
 	}
 	if len(q.Project) > 0 {
 		if e.parallelism > 1 {
-			err = e.materializeParallel(res, q.Project, tr)
+			err = e.materializeParallel(v, res, q.Project, tr)
 		} else {
-			err = e.materialize(res, q.Project, tr)
+			err = e.materialize(v, res, q.Project, tr)
 		}
 		if err != nil {
 			return nil, err
@@ -329,13 +337,13 @@ func opName(op Op) string {
 	return "eq"
 }
 
-// pathOf returns the access-path rank label of p's column, mirroring
-// orderPredicates' ranking.
-func (e *Executor) pathOf(p Predicate) string {
-	if e.tbl.Index(p.Column) != nil {
+// pathOf returns the access-path rank label of p's column in the pinned
+// view, mirroring orderPredicates' ranking.
+func (e *Executor) pathOf(v *table.View, p Predicate) string {
+	if v.Index(p.Column) != nil {
 		return "index"
 	}
-	if e.tbl.MRC(p.Column) != nil {
+	if v.MRC(p.Column) != nil {
 		return "mrc"
 	}
 	return "sscg"
@@ -365,14 +373,14 @@ func (e *Executor) checkQuery(q Query) error {
 // ascending selectivity. Equality predicates use the 1/distinct
 // estimate; range predicates use the column's equi-depth histogram
 // when available (Section III-A: "distinct counts and histograms").
-func (e *Executor) orderPredicates(preds []Predicate) []Predicate {
+func (e *Executor) orderPredicates(v *table.View, preds []Predicate) []Predicate {
 	out := append([]Predicate(nil), preds...)
 	rank := func(p Predicate) (int, float64) {
 		sel := e.estimateSelectivity(p)
-		if e.tbl.Index(p.Column) != nil {
+		if v.Index(p.Column) != nil {
 			return 0, sel
 		}
-		if e.tbl.MRC(p.Column) != nil {
+		if v.MRC(p.Column) != nil {
 			return 1, sel
 		}
 		return 2, sel
@@ -404,19 +412,19 @@ func (e *Executor) estimateSelectivity(p Predicate) float64 {
 
 // runMain evaluates the ordered predicates over the main partition and
 // returns qualifying main-row positions.
-func (e *Executor) runMain(preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID, tr *metrics.Trace) ([]uint32, error) {
-	mainRows := e.tbl.MainRows()
+func (e *Executor) runMain(v *table.View, preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID, tr *metrics.Trace) ([]uint32, error) {
+	mainRows := v.MainRows()
 	if mainRows == 0 {
 		return nil, nil
 	}
 	skip := func(row int) bool {
-		return !e.tbl.MainVersions().Visible(row, snapshot, self)
+		return !v.MainVersions().Visible(row, snapshot, self)
 	}
 	var cand []uint32
 	first := true
 	for _, p := range preds {
 		var err error
-		cand, err = e.applyMain(p, cand, first, skip, tr)
+		cand, err = e.applyMain(v, p, cand, first, skip, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -443,12 +451,12 @@ func (e *Executor) runMain(preds []Predicate, snapshot mvcc.Timestamp, self mvcc
 
 // applyMain evaluates one predicate over the main partition, narrowing
 // the candidate list (nil on the first predicate).
-func (e *Executor) applyMain(p Predicate, cand []uint32, first bool, skip func(int) bool, tr *metrics.Trace) ([]uint32, error) {
-	mainRows := e.tbl.MainRows()
+func (e *Executor) applyMain(v *table.View, p Predicate, cand []uint32, first bool, skip func(int) bool, tr *metrics.Trace) ([]uint32, error) {
+	mainRows := v.MainRows()
 
 	// Index access path (always DRAM-resident).
-	if idx := e.tbl.Index(p.Column); idx != nil && first {
-		out := e.indexLookup(p, skip, tr)
+	if idx := v.Index(p.Column); idx != nil && first {
+		out := e.indexLookup(v, p, skip, tr)
 		e.m.indexLookups.Inc()
 		tr.Op(metrics.OperatorTrace{
 			Name: "index", Partition: "main", Path: "index", Column: p.Column,
@@ -457,7 +465,7 @@ func (e *Executor) applyMain(p Predicate, cand []uint32, first bool, skip func(i
 		return out, nil
 	}
 
-	if mrc := e.tbl.MRC(p.Column); mrc != nil {
+	if mrc := v.MRC(p.Column); mrc != nil {
 		if first {
 			// Full scan on the compressed DRAM column.
 			e.charge(tr, device.DRAM.SequentialReadTime(mrc.Bytes(), e.threads))
@@ -505,8 +513,8 @@ func (e *Executor) applyMain(p Predicate, cand []uint32, first bool, skip func(i
 	}
 
 	// Tiered column (SSCG-placed).
-	gf := e.tbl.GroupField(p.Column)
-	group := e.tbl.Group()
+	gf := v.GroupField(p.Column)
+	group := v.Group()
 	if group == nil || gf < 0 {
 		return nil, fmt.Errorf("exec: column %d has no storage (internal layout error)", p.Column)
 	}
@@ -562,8 +570,8 @@ func (e *Executor) applyMain(p Predicate, cand []uint32, first bool, skip func(i
 // returning visible matching positions in ascending row order. Shared
 // by the serial and parallel paths (index descent is DRAM-cheap and
 // stays single-threaded either way).
-func (e *Executor) indexLookup(p Predicate, skip func(int) bool, tr *metrics.Trace) []uint32 {
-	idx := e.tbl.Index(p.Column)
+func (e *Executor) indexLookup(v *table.View, p Predicate, skip func(int) bool, tr *metrics.Trace) []uint32 {
+	idx := v.Index(p.Column)
 	var positions []uint32
 	collect := func(_ value.Value, rows []uint32) bool {
 		positions = append(positions, rows...)
@@ -606,24 +614,66 @@ func (e *Executor) compile(p Predicate) (func(value.Value) bool, error) {
 	return nil, fmt.Errorf("exec: unknown operator %d", p.Op)
 }
 
-// runDelta evaluates predicates over the delta partition.
-func (e *Executor) runDelta(preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID, tr *metrics.Trace) ([]uint32, error) {
-	d := e.tbl.Delta()
-	deltaRows := d.Rows()
-	if deltaRows == 0 {
+// runDelta evaluates predicates over the delta side of the view. During
+// an online merge the delta is split: the frozen partition (being folded
+// into the new main) comes first in RowID order, then the active
+// partition offset by the frozen row count — matching View.Visible's
+// routing, so RowIDs assembled by run() resolve consistently.
+func (e *Executor) runDelta(v *table.View, preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID, tr *metrics.Trace) ([]uint32, error) {
+	var out []uint32
+	if fz := v.Frozen(); fz != nil {
+		ids, err := e.runDeltaPart(fz, v.FrozenRows(), 0, "delta.frozen", preds, snapshot, self, tr)
+		if err != nil {
+			return nil, err
+		}
+		out = ids
+	}
+	ids, err := e.runDeltaPart(v.Active(), v.ActiveRows(), uint32(v.FrozenRows()), "delta", preds, snapshot, self, tr)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, ids...), nil
+}
+
+// runDeltaPart evaluates predicates over one delta partition. bound
+// caps the physical positions considered (the view's pin-time row count
+// for the active delta, which keeps growing underneath us); offset
+// shifts the returned positions into the view's combined delta RowID
+// space.
+func (e *Executor) runDeltaPart(d *delta.Partition, bound int, offset uint32, part string, preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID, tr *metrics.Trace) ([]uint32, error) {
+	if bound == 0 {
 		return nil, nil
+	}
+	inBound := func(positions []uint32) []uint32 {
+		out := positions[:0]
+		for _, pos := range positions {
+			if int(pos) < bound {
+				out = append(out, pos)
+			}
+		}
+		return out
+	}
+	shift := func(positions []uint32) []uint32 {
+		if offset != 0 {
+			for i := range positions {
+				positions[i] += offset
+			}
+		}
+		return positions
 	}
 	if len(preds) == 0 {
 		rows := d.VisibleRows(snapshot, self)
-		out := make([]uint32, len(rows))
-		for i, r := range rows {
-			out[i] = uint32(r)
+		out := make([]uint32, 0, len(rows))
+		for _, r := range rows {
+			if r < bound {
+				out = append(out, uint32(r))
+			}
 		}
 		tr.Op(metrics.OperatorTrace{
-			Name: "visible", Partition: "delta", Column: -1,
-			RowsIn: deltaRows, RowsOut: len(out),
+			Name: "visible", Partition: part, Column: -1,
+			RowsIn: bound, RowsOut: len(out),
 		})
-		return out, nil
+		return shift(out), nil
 	}
 	var cand []uint32
 	for i, p := range preds {
@@ -638,10 +688,11 @@ func (e *Executor) runDelta(preds []Predicate, snapshot mvcc.Timestamp, self mvc
 			if err != nil {
 				return nil, err
 			}
+			cand = inBound(cand)
 			e.chargeTouches(tr, 20+len(cand))
 			tr.Op(metrics.OperatorTrace{
-				Name: "scan", Partition: "delta", Path: "index", Column: p.Column,
-				RowsIn: deltaRows, RowsOut: len(cand),
+				Name: "scan", Partition: part, Path: "index", Column: p.Column,
+				RowsIn: bound, RowsOut: len(cand),
 			})
 		} else {
 			in := len(cand)
@@ -651,18 +702,18 @@ func (e *Executor) runDelta(preds []Predicate, snapshot mvcc.Timestamp, self mvc
 			}
 			out := cand[:0]
 			for _, pos := range cand {
-				v, err := d.Get(int(pos), p.Column)
+				val, err := d.Get(int(pos), p.Column)
 				if err != nil {
 					return nil, err
 				}
-				if pred(v) {
+				if pred(val) {
 					out = append(out, pos)
 				}
 			}
 			cand = out
 			e.chargeTouches(tr, len(cand))
 			tr.Op(metrics.OperatorTrace{
-				Name: "probe", Partition: "delta", Column: p.Column,
+				Name: "probe", Partition: part, Column: p.Column,
 				RowsIn: in, RowsOut: len(cand),
 			})
 		}
@@ -671,18 +722,18 @@ func (e *Executor) runDelta(preds []Predicate, snapshot mvcc.Timestamp, self mvc
 		}
 	}
 	sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
-	return cand, nil
+	return shift(cand), nil
 }
 
 // materialize fills res.Rows with the projected columns of each
 // qualifying row. For main-partition rows with SSCG-placed projections,
 // one group page access delivers all grouped attributes of a row.
-func (e *Executor) materialize(res *Result, project []int, tr *metrics.Trace) error {
-	mainRows := uint64(e.tbl.MainRows())
-	group := e.tbl.Group()
+func (e *Executor) materialize(v *table.View, res *Result, project []int, tr *metrics.Trace) error {
+	mainRows := uint64(v.MainRows())
+	group := v.Group()
 	needGroup := false
 	for _, c := range project {
-		if e.tbl.GroupField(c) >= 0 {
+		if v.GroupField(c) >= 0 {
 			needGroup = true
 		}
 	}
@@ -699,17 +750,17 @@ func (e *Executor) materialize(res *Result, project []int, tr *metrics.Trace) er
 		}
 		for j, c := range project {
 			if id < mainRows {
-				if gf := e.tbl.GroupField(c); gf >= 0 && groupRow != nil {
+				if gf := v.GroupField(c); gf >= 0 && groupRow != nil {
 					row[j] = groupRow[gf]
 					continue
 				}
 				e.chargeTouches(tr, 2) // value vector + dictionary
 			}
-			v, err := e.tbl.GetValue(id, c)
+			val, err := v.GetValue(id, c)
 			if err != nil {
 				return err
 			}
-			row[j] = v
+			row[j] = val
 		}
 		res.Rows[i] = row
 	}

@@ -256,7 +256,9 @@ func TestIndexPathUsedFirst(t *testing.T) {
 		t.Errorf("res = %v", res.IDs)
 	}
 	// Ordering: the indexed predicate must come first.
-	ordered := e.orderPredicates(q.Predicates)
+	v := tbl.Pin()
+	defer v.Release()
+	ordered := e.orderPredicates(v, q.Predicates)
 	if ordered[0].Column != 0 {
 		t.Errorf("indexed predicate not first: %v", ordered[0])
 	}
@@ -272,7 +274,9 @@ func TestPredicateOrderingLocationBeforeSelectivity(t *testing.T) {
 		{Column: 2, Op: Eq, Value: value.NewInt(1)}, // evicted, sel 0.01
 		{Column: 1, Op: Eq, Value: value.NewInt(1)}, // DRAM, sel 0.1
 	}
-	ordered := e.orderPredicates(preds)
+	v := tbl.Pin()
+	defer v.Release()
+	ordered := e.orderPredicates(v, preds)
 	if ordered[0].Column != 1 {
 		t.Errorf("DRAM-resident predicate not first: column %d", ordered[0].Column)
 	}
@@ -282,7 +286,7 @@ func TestPredicateOrderingLocationBeforeSelectivity(t *testing.T) {
 		{Column: 1, Op: Eq, Value: value.NewInt(1)},
 		{Column: 0, Op: Eq, Value: value.NewInt(1)},
 	}
-	ordered = e.orderPredicates(preds)
+	ordered = e.orderPredicates(v, preds)
 	if ordered[0].Column != 0 {
 		t.Errorf("most selective DRAM predicate not first: column %d", ordered[0].Column)
 	}
@@ -461,7 +465,9 @@ func TestHistogramDrivenRangeOrdering(t *testing.T) {
 	e := New(tbl, Options{})
 	narrowOnB := Predicate{Column: 2, Op: Between, Value: value.NewInt(10), Hi: value.NewInt(11)}
 	wideOnC := Predicate{Column: 3, Op: Between, Value: value.NewInt(0), Hi: value.NewInt(900)}
-	ordered := e.orderPredicates([]Predicate{wideOnC, narrowOnB})
+	v := tbl.Pin()
+	defer v.Release()
+	ordered := e.orderPredicates(v, []Predicate{wideOnC, narrowOnB})
 	if ordered[0].Column != 2 {
 		t.Errorf("narrow range not ordered first: got column %d", ordered[0].Column)
 	}

@@ -13,10 +13,17 @@ import (
 // misses"), while all SSCG attributes of the row arrive with the page
 // access(es) charged by the timed store, plus one DRAM touch per
 // attribute parsed out of the page.
+//
+// Like the other RowID-taking helpers, Reconstruct pins the table's
+// current structure for the duration of the call; the id itself must
+// come from a query run since the last merge (RowIDs are stable only
+// between merges).
 func (e *Executor) Reconstruct(id table.RowID) ([]value.Value, error) {
-	mainRows := uint64(e.tbl.MainRows())
+	v := e.tbl.Pin()
+	defer v.Release()
+	mainRows := uint64(v.MainRows())
 	if id >= mainRows {
-		row, err := e.tbl.GetTuple(id)
+		row, err := v.GetTuple(id)
 		if err != nil {
 			return nil, err
 		}
@@ -27,14 +34,14 @@ func (e *Executor) Reconstruct(id table.RowID) ([]value.Value, error) {
 	mrcAttrs := 0
 	groupAttrs := 0
 	for c := 0; c < n; c++ {
-		if e.tbl.MRC(c) != nil {
+		if v.MRC(c) != nil {
 			mrcAttrs++
 		} else {
 			groupAttrs++
 		}
 	}
 	e.chargeTouches(nil, 2*mrcAttrs+groupAttrs)
-	return e.tbl.GetTuple(id)
+	return v.GetTuple(id)
 }
 
 // Sum aggregates an Int64 or Float64 column over the given rows (a
@@ -45,19 +52,21 @@ func (e *Executor) Sum(col int, ids []table.RowID) (float64, error) {
 	if typ == value.String {
 		return 0, fmt.Errorf("exec: cannot sum string column %d", col)
 	}
+	v := e.tbl.Pin()
+	defer v.Release()
 	var total float64
 	for _, id := range ids {
-		if e.tbl.MRC(col) != nil || id >= uint64(e.tbl.MainRows()) {
+		if v.MRC(col) != nil || id >= uint64(v.MainRows()) {
 			e.chargeTouches(nil, 2)
 		}
-		v, err := e.tbl.GetValue(id, col)
+		val, err := v.GetValue(id, col)
 		if err != nil {
 			return 0, err
 		}
 		if typ == value.Int64 {
-			total += float64(v.Int())
+			total += float64(val.Int())
 		} else {
-			total += v.Float()
+			total += val.Float()
 		}
 	}
 	return total, nil
@@ -68,14 +77,16 @@ func (e *Executor) Sum(col int, ids []table.RowID) (float64, error) {
 // map and emit matching pairs. Build the map with BuildJoinMap on the
 // other table's executor.
 func (e *Executor) JoinProbe(col int, ids []table.RowID, build map[value.Value][]table.RowID) ([][2]table.RowID, error) {
+	v := e.tbl.Pin()
+	defer v.Release()
 	var out [][2]table.RowID
 	for _, id := range ids {
 		e.chargeTouches(nil, 3) // key fetch + hash probe
-		v, err := e.tbl.GetValue(id, col)
+		val, err := v.GetValue(id, col)
 		if err != nil {
 			return nil, err
 		}
-		for _, other := range build[v] {
+		for _, other := range build[val] {
 			out = append(out, [2]table.RowID{id, other})
 		}
 	}
@@ -84,14 +95,16 @@ func (e *Executor) JoinProbe(col int, ids []table.RowID, build map[value.Value][
 
 // BuildJoinMap hashes the join-key column of the given rows.
 func (e *Executor) BuildJoinMap(col int, ids []table.RowID) (map[value.Value][]table.RowID, error) {
+	v := e.tbl.Pin()
+	defer v.Release()
 	m := make(map[value.Value][]table.RowID, len(ids))
 	for _, id := range ids {
 		e.chargeTouches(nil, 3)
-		v, err := e.tbl.GetValue(id, col)
+		val, err := v.GetValue(id, col)
 		if err != nil {
 			return nil, err
 		}
-		m[v] = append(m[v], id)
+		m[val] = append(m[val], id)
 	}
 	return m, nil
 }
@@ -105,21 +118,23 @@ func (e *Executor) GroupBySum(groupCol, aggCol int, ids []table.RowID) (map[valu
 	if aggType == value.String {
 		return nil, fmt.Errorf("exec: cannot sum string column %d", aggCol)
 	}
+	v := e.tbl.Pin()
+	defer v.Release()
 	out := make(map[value.Value]float64)
 	for _, id := range ids {
 		e.chargeTouches(nil, 4) // group key + aggregate fetches
-		g, err := e.tbl.GetValue(id, groupCol)
+		g, err := v.GetValue(id, groupCol)
 		if err != nil {
 			return nil, err
 		}
-		v, err := e.tbl.GetValue(id, aggCol)
+		val, err := v.GetValue(id, aggCol)
 		if err != nil {
 			return nil, err
 		}
 		if aggType == value.Int64 {
-			out[g] += float64(v.Int())
+			out[g] += float64(val.Int())
 		} else {
-			out[g] += v.Float()
+			out[g] += val.Float()
 		}
 	}
 	return out, nil

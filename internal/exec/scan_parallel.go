@@ -26,6 +26,7 @@ import (
 	"tierdb/internal/mvcc"
 	"tierdb/internal/sscg"
 	"tierdb/internal/storage"
+	"tierdb/internal/table"
 	"tierdb/internal/value"
 )
 
@@ -51,12 +52,13 @@ type worker struct {
 // newWorkers builds the per-worker state for one parallel query. When
 // the table's device is timed, each worker gets a fork charging its
 // private clock at the query's parallelism level, so the device model
-// sees the true stream count.
-func (e *Executor) newWorkers() []*worker {
+// sees the true stream count. Workers view the pinned snapshot's SSCG,
+// not the table's live one, so a mid-query merge swap is invisible.
+func (e *Executor) newWorkers(v *table.View) []*worker {
 	n := e.parallelism
 	base := e.tbl.Store()
 	timed, _ := base.(*storage.TimedStore)
-	group := e.tbl.Group()
+	group := v.Group()
 	ws := make([]*worker, n)
 	for i := range ws {
 		w := &worker{}
@@ -189,21 +191,21 @@ func chunkBounds(ln, n, m int) (lo, hi int) {
 // runMainParallel is runMain with morsel-driven workers; it evaluates
 // the ordered predicates over the main partition and returns qualifying
 // positions, identical to the serial path's output.
-func (e *Executor) runMainParallel(preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID, tr *metrics.Trace) ([]uint32, error) {
-	mainRows := e.tbl.MainRows()
+func (e *Executor) runMainParallel(v *table.View, preds []Predicate, snapshot mvcc.Timestamp, self mvcc.TxID, tr *metrics.Trace) ([]uint32, error) {
+	mainRows := v.MainRows()
 	if mainRows == 0 {
 		return nil, nil
 	}
-	ws := e.newWorkers()
+	ws := e.newWorkers(v)
 	defer e.settle(ws, tr)
 	skip := func(row int) bool {
-		return !e.tbl.MainVersions().Visible(row, snapshot, self)
+		return !v.MainVersions().Visible(row, snapshot, self)
 	}
 	var cand []uint32
 	first := true
 	for _, p := range preds {
 		var err error
-		cand, err = e.applyMainParallel(p, cand, first, skip, ws, tr)
+		cand, err = e.applyMainParallel(v, p, cand, first, skip, ws, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -251,13 +253,13 @@ func (e *Executor) visibleParallel(mainRows int, skip func(int) bool, ws []*work
 // applyMainParallel mirrors applyMain — same access-path decisions,
 // same results — with the scan, probe and refinement work fanned out to
 // the worker pool.
-func (e *Executor) applyMainParallel(p Predicate, cand []uint32, first bool, skip func(int) bool, ws []*worker, tr *metrics.Trace) ([]uint32, error) {
-	mainRows := e.tbl.MainRows()
+func (e *Executor) applyMainParallel(v *table.View, p Predicate, cand []uint32, first bool, skip func(int) bool, ws []*worker, tr *metrics.Trace) ([]uint32, error) {
+	mainRows := v.MainRows()
 
 	// Index access path: the tree descent is DRAM-cheap and stays
 	// single-threaded; subsequent predicates refine in parallel.
-	if idx := e.tbl.Index(p.Column); idx != nil && first {
-		out := e.indexLookup(p, skip, tr)
+	if idx := v.Index(p.Column); idx != nil && first {
+		out := e.indexLookup(v, p, skip, tr)
 		e.m.indexLookups.Inc()
 		tr.Op(metrics.OperatorTrace{
 			Name: "index", Partition: "main", Path: "index", Column: p.Column,
@@ -269,12 +271,12 @@ func (e *Executor) applyMainParallel(p Predicate, cand []uint32, first bool, ski
 	before := morselsOf(ws)
 	opMorsels := func() int { return int(morselsOf(ws) - before) }
 
-	if mrc := e.tbl.MRC(p.Column); mrc != nil {
+	if mrc := v.MRC(p.Column); mrc != nil {
 		if first {
 			e.m.mrcScans.Inc()
 			e.m.rowsScanned.Add(int64(mainRows))
 			e.m.dramScanBytes.Add(mrc.Bytes())
-			out, err := e.scanMRCParallel(mrc, p, skip, ws)
+			out, err := e.scanMRCParallel(mainRows, mrc, p, skip, ws)
 			if err != nil {
 				return nil, err
 			}
@@ -298,8 +300,8 @@ func (e *Executor) applyMainParallel(p Predicate, cand []uint32, first bool, ski
 	}
 
 	// Tiered column (SSCG-placed).
-	gf := e.tbl.GroupField(p.Column)
-	if e.tbl.Group() == nil || gf < 0 {
+	gf := v.GroupField(p.Column)
+	if v.Group() == nil || gf < 0 {
 		return nil, fmt.Errorf("exec: column %d has no storage (internal layout error)", p.Column)
 	}
 	pred, err := e.compile(p)
@@ -313,7 +315,7 @@ func (e *Executor) applyMainParallel(p Predicate, cand []uint32, first bool, ski
 	if first || fraction > e.threshold {
 		e.m.sscgScans.Inc()
 		e.m.rowsScanned.Add(int64(mainRows))
-		matches, err := e.scanGroupParallel(gf, pred, skip, ws)
+		matches, err := e.scanGroupParallel(v, gf, pred, skip, ws)
 		if err != nil {
 			return nil, err
 		}
@@ -349,8 +351,7 @@ func (e *Executor) applyMainParallel(p Predicate, cand []uint32, first bool, ski
 
 // scanMRCParallel runs the first (DRAM-resident) predicate as a
 // morsel-parallel scan over the compressed column.
-func (e *Executor) scanMRCParallel(mrc *column.MRC, p Predicate, skip func(int) bool, ws []*worker) ([]uint32, error) {
-	mainRows := e.tbl.MainRows()
+func (e *Executor) scanMRCParallel(mainRows int, mrc *column.MRC, p Predicate, skip func(int) bool, ws []*worker) ([]uint32, error) {
 	nMorsels := (mainRows + e.morselRows - 1) / e.morselRows
 	parts := make([][]uint32, nMorsels)
 	err := runMorsels(ws, nMorsels, func(w *worker, m int) error {
@@ -417,9 +418,9 @@ func (e *Executor) probeMRCParallel(mrc *column.MRC, p Predicate, cand []uint32,
 // scanGroupParallel scans the SSCG morsel-wise. Morsel boundaries align
 // to page boundaries so no page is read by two workers; device time
 // flows through each worker's timed fork onto its private clock.
-func (e *Executor) scanGroupParallel(gf int, pred func(value.Value) bool, skip func(int) bool, ws []*worker) ([]uint32, error) {
-	mainRows := e.tbl.MainRows()
-	align := e.tbl.Group().RowsPerPage()
+func (e *Executor) scanGroupParallel(v *table.View, gf int, pred func(value.Value) bool, skip func(int) bool, ws []*worker) ([]uint32, error) {
+	mainRows := v.MainRows()
+	align := v.Group().RowsPerPage()
 	if align < 1 {
 		align = 1 // page-spanning rows: every row owns its pages
 	}
@@ -465,8 +466,8 @@ func (e *Executor) probeGroupParallel(gf int, pred func(value.Value) bool, cand 
 // materializeParallel fills res.Rows chunk-wise across workers. Each
 // output slot is owned by exactly one worker (disjoint index ranges),
 // so no merge is needed and the row order matches the serial path.
-func (e *Executor) materializeParallel(res *Result, project []int, tr *metrics.Trace) error {
-	ws := e.newWorkers()
+func (e *Executor) materializeParallel(v *table.View, res *Result, project []int, tr *metrics.Trace) error {
+	ws := e.newWorkers(v)
 	defer e.settle(ws, tr)
 	before := morselsOf(ws)
 	defer func() {
@@ -477,10 +478,10 @@ func (e *Executor) materializeParallel(res *Result, project []int, tr *metrics.T
 			Morsels: int(morselsOf(ws) - before),
 		})
 	}()
-	mainRows := uint64(e.tbl.MainRows())
+	mainRows := uint64(v.MainRows())
 	needGroup := false
 	for _, c := range project {
-		if e.tbl.GroupField(c) >= 0 {
+		if v.GroupField(c) >= 0 {
 			needGroup = true
 		}
 	}
@@ -501,17 +502,17 @@ func (e *Executor) materializeParallel(res *Result, project []int, tr *metrics.T
 			}
 			for j, c := range project {
 				if id < mainRows {
-					if gf := e.tbl.GroupField(c); gf >= 0 && groupRow != nil {
+					if gf := v.GroupField(c); gf >= 0 && groupRow != nil {
 						row[j] = groupRow[gf]
 						continue
 					}
 					w.touches += 2 // value vector + dictionary
 				}
-				v, err := e.tbl.GetValue(id, c)
+				val, err := v.GetValue(id, c)
 				if err != nil {
 					return err
 				}
-				row[j] = v
+				row[j] = val
 			}
 			res.Rows[i] = row
 		}

@@ -129,9 +129,13 @@ func CIBench(seed int64) (BenchStats, *Report, error) {
 			return stats, nil, err
 		}
 	}
+	// Online merge: the rebuild re-writes the SSCG through the timed
+	// store, so the clock delta is the modeled rebuild cost.
+	mergeStart := clock.Elapsed()
 	if err := tbl.Merge(); err != nil {
 		return stats, nil, err
 	}
+	mergeNS := clock.Elapsed() - mergeStart
 
 	snap := registry.Snapshot()
 	ammStats := cache.Stats()
@@ -144,6 +148,7 @@ func CIBench(seed int64) (BenchStats, *Report, error) {
 		"rows_scanned":     float64(snap.Counters["exec.rows.scanned"]),
 		"amm_hit_rate":     ammStats.HitRate(),
 		"switchovers":      float64(snap.Counters["exec.switch.scan_to_probe"]),
+		"merge_rebuild_ns": float64(mergeNS),
 	}
 
 	r := &Report{

@@ -78,6 +78,7 @@ type Manager struct {
 	mu         sync.Mutex
 	lastCommit Timestamp
 	nextTx     TxID
+	active     map[TxID]Timestamp // snapshot of every unfinished transaction
 
 	// Per-transaction lifecycle counters (nil → no-op). Visibility
 	// checks are deliberately not counted here: they run per row on the
@@ -90,7 +91,7 @@ type Manager struct {
 // NewManager returns a manager; timestamp 0 is "before all data", so
 // freshly loaded (non-transactional) data is stamped with timestamp 1.
 func NewManager() *Manager {
-	return &Manager{lastCommit: 1, nextTx: 1}
+	return &Manager{lastCommit: 1, nextTx: 1, active: make(map[TxID]Timestamp)}
 }
 
 // Observe registers transaction-lifecycle counters (mvcc.tx.begin,
@@ -107,8 +108,27 @@ func (m *Manager) Begin() *Tx {
 	defer m.mu.Unlock()
 	tx := &Tx{id: m.nextTx, snapshot: m.lastCommit, mgr: m}
 	m.nextTx++
+	m.active[tx.id] = tx.snapshot
 	m.cBegin.Inc()
 	return tx
+}
+
+// OldestActiveSnapshot returns the smallest snapshot any unfinished
+// transaction reads at, or the latest commit timestamp when none is
+// active. The merge swap uses it as a purge watermark: rows deleted at
+// or before this timestamp are invisible to every current and future
+// reader and can be dropped; younger dead rows are re-based so open
+// snapshots keep their exact visibility across the swap.
+func (m *Manager) OldestActiveSnapshot() Timestamp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldest := m.lastCommit
+	for _, snap := range m.active {
+		if snap < oldest {
+			oldest = snap
+		}
+	}
+	return oldest
 }
 
 // LastCommit returns the newest commit timestamp (the snapshot new
@@ -128,6 +148,7 @@ func (m *Manager) Commit(t *Tx) (Timestamp, error) {
 	m.mu.Lock()
 	m.lastCommit++
 	ts := m.lastCommit
+	delete(m.active, t.id)
 	m.mu.Unlock()
 	for _, fn := range t.onCommit {
 		fn(ts)
@@ -145,6 +166,9 @@ func (m *Manager) Abort(t *Tx) error {
 	for i := len(t.onAbort) - 1; i >= 0; i-- {
 		t.onAbort[i]()
 	}
+	m.mu.Lock()
+	delete(m.active, t.id)
+	m.mu.Unlock()
 	t.status = Aborted
 	m.cAbort.Inc()
 	return nil
@@ -169,6 +193,21 @@ func (v *Versions) Len() int {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	return len(v.begin)
+}
+
+// AppendAt adds a committed row with explicit begin and end timestamps.
+// The online merge uses it to rebuild a partition's version store while
+// preserving each row's original commit history, so readers holding
+// snapshots older than the merge keep seeing exactly the rows they saw
+// before the swap (end == Infinity for live rows).
+func (v *Versions) AppendAt(begin, end Timestamp) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.begin = append(v.begin, begin)
+	v.end = append(v.end, end)
+	v.owner = append(v.owner, 0)
+	v.intent = append(v.intent, 0)
+	return len(v.begin) - 1
 }
 
 // AppendCommitted adds a row that is immediately visible from ts on
@@ -251,6 +290,59 @@ func (v *Versions) AbortDelete(row int, tx TxID) {
 	if v.intent[row] == tx {
 		v.intent[row] = 0
 	}
+}
+
+// RowState is a point-in-time copy of one row's version vector entry.
+type RowState struct {
+	// Begin is the insert commit timestamp: 0 while the insert is
+	// provisional, Infinity after an aborted insert.
+	Begin Timestamp
+	// End is the delete commit timestamp (Infinity while live).
+	End Timestamp
+	// Pending reports provisional state: an uncommitted insert or an
+	// unresolved delete intent.
+	Pending bool
+}
+
+// State returns a copy of row's version entry. The merge swap uses it to
+// reconcile deletes that committed while the rebuild ran off-lock.
+func (v *Versions) State(row int) RowState {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if row < 0 || row >= len(v.begin) {
+		return RowState{Begin: Infinity, End: 0}
+	}
+	return RowState{
+		Begin:   v.begin[row],
+		End:     v.end[row],
+		Pending: (v.begin[row] == 0 && v.owner[row] != 0) || v.intent[row] != 0,
+	}
+}
+
+// SetEnd stamps row's delete timestamp directly (no intent protocol).
+// The merge swap uses it to replay deletes that committed against the
+// old partition while the new one was being built.
+func (v *Versions) SetEnd(row int, ts Timestamp) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if row >= 0 && row < len(v.begin) {
+		v.end[row] = ts
+	}
+}
+
+// Unsettled reports whether any row is in provisional state: an
+// uncommitted insert or an unresolved delete intent. The merge swap
+// waits until the partitions it is about to retire are settled, so no
+// commit callback can race the version reconciliation.
+func (v *Versions) Unsettled() bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for i := range v.begin {
+		if (v.begin[i] == 0 && v.owner[i] != 0) || v.intent[i] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Visible reports whether row is visible to a reader with the given

@@ -16,6 +16,7 @@ import (
 	"math"
 	"os"
 
+	"tierdb/internal/delta"
 	"tierdb/internal/schema"
 	"tierdb/internal/table"
 	"tierdb/internal/value"
@@ -95,25 +96,45 @@ func Save(w io.Writer, tbl *table.Table) error {
 		}
 	}
 
-	// Rows: visible main-partition rows then visible delta rows.
+	// Rows: visible main-partition rows, then visible delta rows (the
+	// frozen partition of an in-flight merge first, matching RowID
+	// order). The snapshot timestamp is taken before the structural pin
+	// so every row visible at the snapshot physically exists within the
+	// view's bounds.
 	snapshot := tbl.Manager().LastCommit()
+	v := tbl.Pin()
+	defer v.Release()
 	var rows [][]value.Value
-	for r := 0; r < tbl.MainRows(); r++ {
-		if !tbl.MainVersions().Visible(r, snapshot, 0) {
+	for r := 0; r < v.MainRows(); r++ {
+		if !v.MainVersions().Visible(r, snapshot, 0) {
 			continue
 		}
-		tuple, err := tbl.GetTuple(uint64(r))
+		tuple, err := v.GetTuple(uint64(r))
 		if err != nil {
 			return fmt.Errorf("persist: read main row %d: %w", r, err)
 		}
 		rows = append(rows, tuple)
 	}
-	for _, pos := range tbl.Delta().VisibleRows(snapshot, 0) {
-		tuple, err := tbl.Delta().GetRow(pos)
-		if err != nil {
-			return fmt.Errorf("persist: read delta row %d: %w", pos, err)
+	collect := func(d *delta.Partition, bound int) error {
+		for _, pos := range d.VisibleRows(snapshot, 0) {
+			if pos >= bound {
+				continue
+			}
+			tuple, err := d.GetRow(pos)
+			if err != nil {
+				return fmt.Errorf("persist: read delta row %d: %w", pos, err)
+			}
+			rows = append(rows, tuple)
 		}
-		rows = append(rows, tuple)
+		return nil
+	}
+	if fz := v.Frozen(); fz != nil {
+		if err := collect(fz, v.FrozenRows()); err != nil {
+			return err
+		}
+	}
+	if err := collect(v.Active(), v.ActiveRows()); err != nil {
+		return err
 	}
 	if err := writeUvarint(bw, uint64(len(rows))); err != nil {
 		return err

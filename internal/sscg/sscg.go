@@ -64,6 +64,13 @@ func Build(fields []schema.Field, rows [][]value.Value, store storage.Store, cac
 	}
 
 	if err := g.writeRows(rows); err != nil {
+		// Return already-written pages to the freelist so an aborted
+		// build (e.g. a storage fault mid-merge) leaks nothing; the
+		// fault-injection tests assert the page count returns to its
+		// pre-merge level. Best effort: the original error wins.
+		if len(g.pages) > 0 {
+			_, _ = storage.FreePages(store, g.pages)
+		}
 		return nil, err
 	}
 	return g, nil
@@ -79,10 +86,12 @@ func (g *Group) writeRows(rows [][]value.Value) error {
 		if err != nil {
 			return fmt.Errorf("sscg: allocate page: %w", err)
 		}
+		// Track the page before writing it: a failed write must still
+		// reach the abort path's FreePages or the page leaks.
+		g.pages = append(g.pages, id)
 		if err := g.store.WritePage(id, page); err != nil {
 			return fmt.Errorf("sscg: write page: %w", err)
 		}
-		g.pages = append(g.pages, id)
 		for i := range page {
 			page[i] = 0
 		}
@@ -192,6 +201,24 @@ func (g *Group) WithBacking(store storage.Store) *Group {
 		return &b
 	}
 	return ng
+}
+
+// Free invalidates the group's pages in the cache and returns them to
+// the store's freelist (a no-op for stores without storage.PageFreer).
+// Call it only on the canonical group — never on WithBacking views —
+// and only once no reader can touch the group again: the online merge
+// frees a retired main partition's group when the last pinned table
+// view referencing it is released, and a failed rebuild frees the
+// partially built group it abandons.
+func (g *Group) Free() error {
+	if len(g.pages) == 0 {
+		return nil
+	}
+	if g.cache != nil {
+		g.cache.Invalidate(g.pages)
+	}
+	_, err := storage.FreePages(g.store, g.pages)
+	return err
 }
 
 // readPage fetches a page via the cache (if configured) or the store,

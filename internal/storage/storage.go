@@ -23,6 +23,10 @@ type PageID uint64
 // ErrPageOutOfRange is returned when a page id is not allocated.
 var ErrPageOutOfRange = errors.New("storage: page id out of range")
 
+// ErrPageFreed is returned when a freed page is accessed or double-freed
+// — a use-after-free guard for the merge's page-reclamation path.
+var ErrPageFreed = errors.New("storage: page freed")
+
 // Store is the minimal page device interface: random page reads and
 // writes plus allocation of new pages. Implementations must be safe for
 // concurrent use.
@@ -39,6 +43,27 @@ type Store interface {
 	Close() error
 }
 
+// PageFreer is an optional Store capability: freed pages return to a
+// freelist and are handed out again by later Allocate calls (zeroed, as
+// Allocate promises). The online merge frees a retired SSCG's pages
+// once no reader references it, so repeated merges recycle storage
+// instead of growing the store without bound. FreePages on an
+// already-free or unallocated id is an error.
+type PageFreer interface {
+	FreePages(ids []PageID) error
+}
+
+// FreePages returns store's pages to its freelist when the store (or a
+// wrapper chain ending in one) supports PageFreer; stores without the
+// capability ignore the call. The boolean reports whether pages were
+// actually freed.
+func FreePages(store Store, ids []PageID) (bool, error) {
+	if f, ok := store.(PageFreer); ok {
+		return true, f.FreePages(ids)
+	}
+	return false, nil
+}
+
 func checkBuf(buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("storage: buffer is %d bytes, want %d", len(buf), PageSize)
@@ -52,10 +77,12 @@ func checkBuf(buf []byte) error {
 type MemStore struct {
 	mu    sync.RWMutex
 	pages [][]byte
+	free  []PageID
+	freed map[PageID]bool
 }
 
 // NewMemStore returns an empty in-memory store.
-func NewMemStore() *MemStore { return &MemStore{} }
+func NewMemStore() *MemStore { return &MemStore{freed: make(map[PageID]bool)} }
 
 // ReadPage implements Store.
 func (s *MemStore) ReadPage(id PageID, buf []byte) error {
@@ -66,6 +93,9 @@ func (s *MemStore) ReadPage(id PageID, buf []byte) error {
 	defer s.mu.RUnlock()
 	if int(id) >= len(s.pages) {
 		return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, len(s.pages))
+	}
+	if s.freed[id] {
+		return fmt.Errorf("%w: page %d is freed", ErrPageFreed, id)
 	}
 	copy(buf, s.pages[id])
 	return nil
@@ -81,6 +111,9 @@ func (s *MemStore) WritePage(id PageID, buf []byte) error {
 	if int(id) >= len(s.pages) {
 		return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, len(s.pages))
 	}
+	if s.freed[id] {
+		return fmt.Errorf("%w: page %d is freed", ErrPageFreed, id)
+	}
 	copy(s.pages[id], buf)
 	return nil
 }
@@ -89,8 +122,39 @@ func (s *MemStore) WritePage(id PageID, buf []byte) error {
 func (s *MemStore) Allocate() (PageID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		delete(s.freed, id)
+		clear(s.pages[id])
+		return id, nil
+	}
 	s.pages = append(s.pages, make([]byte, PageSize))
 	return PageID(len(s.pages) - 1), nil
+}
+
+// FreePages implements PageFreer.
+func (s *MemStore) FreePages(ids []PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		if int(id) >= len(s.pages) {
+			return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, len(s.pages))
+		}
+		if s.freed[id] {
+			return fmt.Errorf("%w: page %d double-freed", ErrPageFreed, id)
+		}
+		s.freed[id] = true
+		s.free = append(s.free, id)
+	}
+	return nil
+}
+
+// FreeCount returns the number of pages currently on the freelist.
+func (s *MemStore) FreeCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.free)
 }
 
 // NumPages implements Store.
@@ -106,10 +170,12 @@ func (s *MemStore) Close() error { return nil }
 // FileStore is a page store backed by a single file, using positional
 // reads and writes. It demonstrates the real IO path of the engine.
 type FileStore struct {
-	mu   sync.Mutex
-	f    *os.File
-	n    int64
-	path string
+	mu    sync.Mutex
+	f     *os.File
+	n     int64
+	path  string
+	free  []PageID
+	freed map[PageID]bool
 }
 
 // NewFileStore creates (or truncates) a page file at path.
@@ -118,7 +184,20 @@ func NewFileStore(path string) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: create page file: %w", err)
 	}
-	return &FileStore{f: f, path: path}, nil
+	return &FileStore{f: f, path: path, freed: make(map[PageID]bool)}, nil
+}
+
+// checkLive verifies id is allocated and not on the freelist.
+func (s *FileStore) checkLive(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int64(id) >= s.n {
+		return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, s.n)
+	}
+	if s.freed[id] {
+		return fmt.Errorf("%w: page %d is freed", ErrPageFreed, id)
+	}
+	return nil
 }
 
 // ReadPage implements Store.
@@ -126,11 +205,8 @@ func (s *FileStore) ReadPage(id PageID, buf []byte) error {
 	if err := checkBuf(buf); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	n := s.n
-	s.mu.Unlock()
-	if int64(id) >= n {
-		return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, n)
+	if err := s.checkLive(id); err != nil {
+		return err
 	}
 	if _, err := s.f.ReadAt(buf, int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
@@ -143,11 +219,8 @@ func (s *FileStore) WritePage(id PageID, buf []byte) error {
 	if err := checkBuf(buf); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	n := s.n
-	s.mu.Unlock()
-	if int64(id) >= n {
-		return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, n)
+	if err := s.checkLive(id); err != nil {
+		return err
 	}
 	if _, err := s.f.WriteAt(buf, int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
@@ -159,12 +232,38 @@ func (s *FileStore) WritePage(id PageID, buf []byte) error {
 func (s *FileStore) Allocate() (PageID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		delete(s.freed, id)
+		if _, err := s.f.WriteAt(make([]byte, PageSize), int64(id)*PageSize); err != nil {
+			return 0, fmt.Errorf("storage: zero recycled page %d: %w", id, err)
+		}
+		return id, nil
+	}
 	id := PageID(s.n)
 	if err := s.f.Truncate((s.n + 1) * PageSize); err != nil {
 		return 0, fmt.Errorf("storage: grow page file: %w", err)
 	}
 	s.n++
 	return id, nil
+}
+
+// FreePages implements PageFreer.
+func (s *FileStore) FreePages(ids []PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		if int64(id) >= s.n {
+			return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, s.n)
+		}
+		if s.freed[id] {
+			return fmt.Errorf("%w: page %d double-freed", ErrPageFreed, id)
+		}
+		s.freed[id] = true
+		s.free = append(s.free, id)
+	}
+	return nil
 }
 
 // NumPages implements Store.

@@ -186,6 +186,15 @@ func (s *TimedStore) WritePage(id PageID, buf []byte) error {
 // Allocate implements Store (untimed; allocation is metadata).
 func (s *TimedStore) Allocate() (PageID, error) { return s.inner.Allocate() }
 
+// FreePages forwards to the inner store's freelist (untimed metadata),
+// implementing PageFreer when the inner store does.
+func (s *TimedStore) FreePages(ids []PageID) error {
+	if f, ok := s.inner.(PageFreer); ok {
+		return f.FreePages(ids)
+	}
+	return nil
+}
+
 // NumPages implements Store.
 func (s *TimedStore) NumPages() int64 { return s.inner.NumPages() }
 

@@ -6,7 +6,9 @@ import (
 	"strings"
 
 	"tierdb/internal/bptree"
+	"tierdb/internal/delta"
 	"tierdb/internal/keyenc"
+	"tierdb/internal/mvcc"
 	"tierdb/internal/value"
 )
 
@@ -48,7 +50,7 @@ func (t *Table) buildCompositeLocked(cols []int) error {
 	key := make([]value.Value, len(cols))
 	for row := 0; row < t.mainRows; row++ {
 		for i, c := range cols {
-			v, err := t.getValueLocked(uint64(row), c)
+			v, err := t.mainValueLocked(row, c)
 			if err != nil {
 				return fmt.Errorf("table %s: build composite index: %w", t.name, err)
 			}
@@ -60,13 +62,16 @@ func (t *Table) buildCompositeLocked(cols []int) error {
 		}
 		tree.Insert(value.NewString(enc), uint32(row))
 	}
-	if t.composites == nil {
-		t.composites = make(map[string]compositeIndex)
+	// Copy-on-write: pinned views may alias the current map.
+	composites := make(map[string]compositeIndex, len(t.composites)+1)
+	for k, v := range t.composites {
+		composites[k] = v
 	}
-	t.composites[compositeKeyName(cols)] = compositeIndex{
+	composites[compositeKeyName(cols)] = compositeIndex{
 		cols: append([]int(nil), cols...),
 		tree: tree,
 	}
+	t.composites = composites
 	return nil
 }
 
@@ -76,20 +81,27 @@ type compositeIndex struct {
 	tree *bptree.Tree
 }
 
-// LookupComposite returns the main-partition rows whose column tuple
-// equals key, using the composite index over cols (which must have been
-// created). Delta rows are found by probing the delta's per-column
-// trees on the first key column and filtering.
+// LookupComposite returns the rows whose column tuple equals key, using
+// the composite index over cols (which must have been created). It runs
+// against a pinned View, so a concurrent merge swap cannot tear the
+// lookup.
 func (t *Table) LookupComposite(cols []int, key []value.Value, snapshot uint64, self uint64) ([]RowID, error) {
+	v := t.Pin()
+	defer v.Release()
+	return v.LookupComposite(cols, key, snapshot, self)
+}
+
+// LookupComposite resolves a composite-key lookup in the View: the main
+// partition via the composite B+-tree, then the frozen (if any) and
+// active deltas by probing their first-column trees and verifying the
+// remaining columns.
+func (v *View) LookupComposite(cols []int, key []value.Value, snapshot mvcc.Timestamp, self mvcc.TxID) ([]RowID, error) {
 	if len(key) != len(cols) {
-		return nil, fmt.Errorf("table %s: composite key has %d values for %d columns", t.name, len(key), len(cols))
+		return nil, fmt.Errorf("table %s: composite key has %d values for %d columns", v.name, len(key), len(cols))
 	}
-	t.mu.RLock()
-	idx, ok := t.composites[compositeKeyName(cols)]
-	mainRows := t.mainRows
-	t.mu.RUnlock()
+	idx, ok := v.composites[compositeKeyName(cols)]
 	if !ok {
-		return nil, fmt.Errorf("table %s: no composite index on columns %v", t.name, cols)
+		return nil, fmt.Errorf("table %s: no composite index on columns %v", v.name, cols)
 	}
 	enc, err := keyenc.EncodeString(key)
 	if err != nil {
@@ -97,31 +109,45 @@ func (t *Table) LookupComposite(cols []int, key []value.Value, snapshot uint64, 
 	}
 	var out []RowID
 	for _, pos := range idx.tree.Lookup(value.NewString(enc)) {
-		if t.mainVersions.Visible(int(pos), snapshot, self) {
+		if v.mainVersions.Visible(int(pos), snapshot, self) {
 			out = append(out, RowID(pos))
 		}
 	}
-	// Delta side: narrow by the first column's tree, then verify the
-	// remaining columns.
-	cand, err := t.delta.ScanEqual(cols[0], key[0], snapshot, self, nil)
-	if err != nil {
-		return nil, err
+	probe := func(d *delta.Partition, base uint64, bound int) error {
+		cand, err := d.ScanEqual(cols[0], key[0], snapshot, self, nil)
+		if err != nil {
+			return err
+		}
+		for _, pos := range cand {
+			if int(pos) >= bound {
+				continue // appended after the pin; see View.ActiveRows
+			}
+			match := true
+			for i := 1; i < len(cols); i++ {
+				val, err := d.Get(int(pos), cols[i])
+				if err != nil {
+					return err
+				}
+				if !val.Equal(key[i]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				out = append(out, base+uint64(pos))
+			}
+		}
+		return nil
 	}
-	for _, pos := range cand {
-		match := true
-		for i := 1; i < len(cols); i++ {
-			v, err := t.delta.Get(int(pos), cols[i])
-			if err != nil {
-				return nil, err
-			}
-			if !v.Equal(key[i]) {
-				match = false
-				break
-			}
+	base := uint64(v.mainRows)
+	if v.frozen != nil {
+		if err := probe(v.frozen, base, v.frozenRows); err != nil {
+			return nil, err
 		}
-		if match {
-			out = append(out, uint64(mainRows)+uint64(pos))
-		}
+		base += uint64(v.frozenRows)
+	}
+	if err := probe(v.active, base, v.activeRows); err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out, nil

@@ -47,6 +47,14 @@ type Options struct {
 }
 
 // Table is a tiered HTAP table.
+//
+// Concurrency protocol: t.mu guards the structural pointers below.
+// Every container they reference (MRC slices, index maps, version
+// stores, delta partitions) is replaced wholesale on change, never
+// mutated in place, so a pinned View (see Pin) may keep reading retired
+// containers lock-free. Write intents and provisional inserts are only
+// created while holding the read lock, which is what lets the merge
+// swap treat "no provisional state" as stable under the write lock.
 type Table struct {
 	mu       sync.RWMutex
 	name     string
@@ -55,7 +63,16 @@ type Table struct {
 	store    storage.Store
 	cache    *amm.Cache
 	registry *metrics.Registry
-	cMerges  *metrics.Counter
+
+	// Merge instruments (no-ops when the registry is nil).
+	cMerges     *metrics.Counter
+	cSwaps      *metrics.Counter
+	cMergeRows  *metrics.Counter
+	cMergeFails *metrics.Counter
+	cStragglers *metrics.Counter
+	hMergeNs    *metrics.Histogram
+	gActiveRows *metrics.Gauge
+	gFrozenRows *metrics.Gauge
 
 	// Main partition (immutable between merges).
 	mainRows     int
@@ -65,11 +82,20 @@ type Table struct {
 	groupIdx     []int // schema column -> field index within group, -1 if MRC
 	mainVersions *mvcc.Versions
 
-	delta      *delta.Partition
+	delta      *delta.Partition          // active delta: all new writes land here
+	frozen     *delta.Partition          // merge input while a merge is in flight (nil otherwise)
+	frozenRows int                       // physical frozen rows, fixed at freeze
+	merging    bool                      // an online merge is between freeze and swap
+	epoch      *epoch                    // reclamation epoch owning the current SSCG's pages
 	indexes    map[int]*bptree.Tree      // main-partition indexes, always DRAM-resident
 	composites map[string]compositeIndex // multi-column indexes by canonical column list
 	distinct   []int                     // per-column distinct counts of the main partition
 	hists      []*histogram.Histogram    // per-column equi-depth histograms (may hold nils)
+
+	// Test-only synchronization points of the online merge; set before
+	// any merge starts, never under load.
+	hookAfterFreeze func()
+	hookBeforeSwap  func()
 }
 
 // New creates an empty table whose columns all start as MRCs.
@@ -98,11 +124,19 @@ func New(name string, s *schema.Schema, opts Options) (*Table, error) {
 		cache:        opts.Cache,
 		registry:     opts.Registry,
 		cMerges:      opts.Registry.Counter("table.merges"),
+		cSwaps:       opts.Registry.Counter("merge.swaps"),
+		cMergeRows:   opts.Registry.Counter("merge.rows"),
+		cMergeFails:  opts.Registry.Counter("merge.failures"),
+		cStragglers:  opts.Registry.Counter("merge.stragglers"),
+		hMergeNs:     opts.Registry.Histogram("merge.ns", metrics.IOLatencyBuckets()),
+		gActiveRows:  opts.Registry.Gauge("delta.active_rows"),
+		gFrozenRows:  opts.Registry.Gauge("delta.frozen_rows"),
 		layout:       layout,
 		mrcs:         make([]*column.MRC, s.Len()),
 		groupIdx:     make([]int, s.Len()),
 		mainVersions: mvcc.NewVersions(),
 		delta:        delta.New(s),
+		epoch:        newEpoch(nil),
 		indexes:      make(map[int]*bptree.Tree),
 		distinct:     make([]int, s.Len()),
 	}
@@ -127,9 +161,22 @@ func (t *Table) Manager() *mvcc.Manager { return t.mgr }
 // per-worker timed views for virtual-clock accounting.
 func (t *Table) Store() storage.Store { return t.store }
 
-// Delta exposes the delta partition (read-mostly; used by tests and the
-// executor).
-func (t *Table) Delta() *delta.Partition { return t.delta }
+// Delta exposes the active delta partition — the one receiving new
+// writes. While a merge is in flight the frozen delta (Frozen) holds
+// additional unmerged rows; consistent readers should Pin a View
+// instead of combining these accessors.
+func (t *Table) Delta() *delta.Partition {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.delta
+}
+
+// Frozen exposes the frozen delta of an in-flight merge, or nil.
+func (t *Table) Frozen() *delta.Partition {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.frozen
+}
 
 // Layout returns a copy of the current column layout (true = MRC).
 func (t *Table) Layout() []bool {
@@ -148,11 +195,40 @@ func (t *Table) MainRows() int {
 	return t.mainRows
 }
 
-// DeltaRows returns the number of physical delta rows.
-func (t *Table) DeltaRows() int { return t.delta.Rows() }
+// DeltaRows returns the number of physical unmerged rows: the active
+// delta plus, while a merge is in flight, the frozen one.
+func (t *Table) DeltaRows() int {
+	t.mu.RLock()
+	active, frozenRows := t.delta, t.frozenRows
+	t.mu.RUnlock()
+	return active.Rows() + frozenRows
+}
+
+// ActiveDeltaRows returns the physical row count of the active delta
+// only — the growth since the last freeze, which is what merge
+// scheduling thresholds watch.
+func (t *Table) ActiveDeltaRows() int {
+	return t.Delta().Rows()
+}
+
+// DeltaBytes returns the DRAM footprint of the unmerged deltas.
+func (t *Table) DeltaBytes() int64 {
+	t.mu.RLock()
+	active, frozen := t.delta, t.frozen
+	t.mu.RUnlock()
+	b := active.Bytes()
+	if frozen != nil {
+		b += frozen.Bytes()
+	}
+	return b
+}
 
 // MainVersions exposes MVCC state of the main partition.
-func (t *Table) MainVersions() *mvcc.Versions { return t.mainVersions }
+func (t *Table) MainVersions() *mvcc.Versions {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.mainVersions
+}
 
 // Group returns the SSCG of the main partition, or nil if every column
 // is an MRC.
@@ -183,8 +259,12 @@ func (t *Table) GroupField(col int) int {
 	return t.groupIdx[col]
 }
 
-// Insert appends a row through tx (insert-only, into the delta).
+// Insert appends a row through tx (insert-only, into the active
+// delta). The read lock spans the provisional append, so a merge
+// freeze can never split the row from its version entry.
 func (t *Table) Insert(tx *mvcc.Tx, row []value.Value) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	_, err := t.delta.Insert(tx, row)
 	return err
 }
@@ -194,6 +274,8 @@ func (t *Table) Insert(tx *mvcc.Tx, row []value.Value) error {
 // main partition under the current layout.
 func (t *Table) BulkAppend(rows [][]value.Value) error {
 	ts := t.mgr.LastCommit()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for i, row := range rows {
 		if _, err := t.delta.Append(row, ts); err != nil {
 			return fmt.Errorf("table %s: bulk append row %d: %w", t.name, i, err)
@@ -202,21 +284,32 @@ func (t *Table) BulkAppend(rows [][]value.Value) error {
 	return nil
 }
 
-// Delete marks the row deleted through tx.
+// Delete marks the row deleted through tx, routing the id across main,
+// frozen and active partitions. The commit callbacks capture the
+// version store resolved here, not the table: intents registered
+// against a retiring partition must resolve against that partition (the
+// merge swap waits for them before reconciling).
 func (t *Table) Delete(tx *mvcc.Tx, id RowID) error {
 	t.mu.RLock()
-	mainRows := t.mainRows
-	t.mu.RUnlock()
-	if id < uint64(mainRows) {
-		if err := t.mainVersions.MarkDelete(int(id), tx.ID()); err != nil {
+	defer t.mu.RUnlock()
+	if id < uint64(t.mainRows) {
+		vers := t.mainVersions
+		row := int(id)
+		if err := vers.MarkDelete(row, tx.ID()); err != nil {
 			return err
 		}
-		row := int(id)
-		tx.OnCommit(func(ts mvcc.Timestamp) { t.mainVersions.CommitDelete(row, ts) })
-		tx.OnAbort(func() { t.mainVersions.AbortDelete(row, tx.ID()) })
+		tx.OnCommit(func(ts mvcc.Timestamp) { vers.CommitDelete(row, ts) })
+		tx.OnAbort(func() { vers.AbortDelete(row, tx.ID()) })
 		return nil
 	}
-	return t.delta.Delete(tx, int(id-uint64(mainRows)))
+	pos := int(id - uint64(t.mainRows))
+	if t.frozen != nil {
+		if pos < t.frozenRows {
+			return t.frozen.Delete(tx, pos)
+		}
+		pos -= t.frozenRows
+	}
+	return t.delta.Delete(tx, pos)
 }
 
 // Update implements the insert-only update: delete the old version and
@@ -231,12 +324,18 @@ func (t *Table) Update(tx *mvcc.Tx, id RowID, row []value.Value) error {
 // Visible reports whether a row id is visible at (snapshot, self).
 func (t *Table) Visible(id RowID, snapshot mvcc.Timestamp, self mvcc.TxID) bool {
 	t.mu.RLock()
-	mainRows := t.mainRows
-	t.mu.RUnlock()
-	if id < uint64(mainRows) {
+	defer t.mu.RUnlock()
+	if id < uint64(t.mainRows) {
 		return t.mainVersions.Visible(int(id), snapshot, self)
 	}
-	return t.delta.Versions().Visible(int(id-uint64(mainRows)), snapshot, self)
+	pos := int(id - uint64(t.mainRows))
+	if t.frozen != nil {
+		if pos < t.frozenRows {
+			return t.frozen.Versions().Visible(pos, snapshot, self)
+		}
+		pos -= t.frozenRows
+	}
+	return t.delta.Versions().Visible(pos, snapshot, self)
 }
 
 // GetValue materializes one cell of a visible row (no visibility check).
@@ -256,7 +355,14 @@ func (t *Table) getValueLocked(id RowID, col int) (value.Value, error) {
 		}
 		return t.group.ReadField(int(id), t.groupIdx[col])
 	}
-	return t.delta.Get(int(id-uint64(t.mainRows)), col)
+	pos := int(id - uint64(t.mainRows))
+	if t.frozen != nil {
+		if pos < t.frozenRows {
+			return t.frozen.Get(pos, col)
+		}
+		pos -= t.frozenRows
+	}
+	return t.delta.Get(pos, col)
 }
 
 // GetTuple reconstructs a full row: MRC attributes decode from their
@@ -266,7 +372,14 @@ func (t *Table) GetTuple(id RowID) ([]value.Value, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if id >= uint64(t.mainRows) {
-		return t.delta.GetRow(int(id - uint64(t.mainRows)))
+		pos := int(id - uint64(t.mainRows))
+		if t.frozen != nil {
+			if pos < t.frozenRows {
+				return t.frozen.GetRow(pos)
+			}
+			pos -= t.frozenRows
+		}
+		return t.delta.GetRow(pos)
 	}
 	out := make([]value.Value, t.schema.Len())
 	if t.group != nil {
@@ -307,14 +420,28 @@ func (t *Table) buildIndexLocked(col int) error {
 	}
 	tree := bptree.New(t.schema.Field(col).Type)
 	for row := 0; row < t.mainRows; row++ {
-		v, err := t.getValueLocked(uint64(row), col)
+		v, err := t.mainValueLocked(row, col)
 		if err != nil {
 			return fmt.Errorf("table %s: build index on %q: %w", t.name, t.schema.Field(col).Name, err)
 		}
 		tree.Insert(v, uint32(row))
 	}
-	t.indexes[col] = tree
+	// Copy-on-write: pinned views may alias the current map.
+	indexes := make(map[int]*bptree.Tree, len(t.indexes)+1)
+	for k, v := range t.indexes {
+		indexes[k] = v
+	}
+	indexes[col] = tree
+	t.indexes = indexes
 	return nil
+}
+
+// mainValueLocked reads one main-partition cell; caller holds t.mu.
+func (t *Table) mainValueLocked(row, col int) (value.Value, error) {
+	if mrc := t.mrcs[col]; mrc != nil {
+		return mrc.Get(row)
+	}
+	return t.group.ReadField(row, t.groupIdx[col])
 }
 
 // Index returns the main-partition index for col, or nil.
@@ -322,151 +449,6 @@ func (t *Table) Index(col int) *bptree.Tree {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.indexes[col]
-}
-
-// ApplyLayout sets the column layout and rebuilds the main partition
-// accordingly (merging the delta in the same pass). layout[i] = true
-// keeps column i as a DRAM-resident MRC; false places it in the SSCG.
-func (t *Table) ApplyLayout(layout []bool) error {
-	if len(layout) != t.schema.Len() {
-		return fmt.Errorf("table %s: layout has %d entries, want %d", t.name, len(layout), t.schema.Len())
-	}
-	return t.merge(layout)
-}
-
-// Merge merges the delta partition into the main partition under the
-// current layout. The process is offline in this implementation (the
-// paper's merge is asynchronous and non-blocking; here callers schedule
-// it between transactions).
-func (t *Table) Merge() error {
-	return t.merge(t.Layout())
-}
-
-func (t *Table) merge(layout []bool) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-
-	snapshot := t.mgr.LastCommit()
-	// Collect all visible rows: surviving main rows, then delta rows.
-	var rows [][]value.Value
-	for row := 0; row < t.mainRows; row++ {
-		if !t.mainVersions.Visible(row, snapshot, 0) {
-			continue
-		}
-		tuple, err := t.tupleLocked(uint64(row))
-		if err != nil {
-			return fmt.Errorf("table %s: merge read main row %d: %w", t.name, row, err)
-		}
-		rows = append(rows, tuple)
-	}
-	for _, pos := range t.delta.VisibleRows(snapshot, 0) {
-		tuple, err := t.delta.GetRow(pos)
-		if err != nil {
-			return fmt.Errorf("table %s: merge read delta row %d: %w", t.name, pos, err)
-		}
-		rows = append(rows, tuple)
-	}
-
-	// Column statistics: distinct counts drive equi-predicate
-	// selectivity estimates for all columns, including SSCG-placed
-	// ones; equi-depth histograms refine range-predicate estimates
-	// (paper Section III-A, "distinct counts and histograms when
-	// available").
-	distinct := make([]int, t.schema.Len())
-	hists := make([]*histogram.Histogram, t.schema.Len())
-	colVals := make([]value.Value, len(rows))
-	for col := 0; col < t.schema.Len(); col++ {
-		seen := make(map[value.Value]struct{}, 64)
-		for r := range rows {
-			colVals[r] = rows[r][col]
-			seen[rows[r][col]] = struct{}{}
-		}
-		distinct[col] = len(seen)
-		if len(rows) > 0 {
-			h, err := histogram.Build(t.schema.Field(col).Type, colVals, histogramBuckets)
-			if err != nil {
-				return fmt.Errorf("table %s: build histogram for %q: %w", t.name, t.schema.Field(col).Name, err)
-			}
-			hists[col] = h
-		}
-	}
-
-	// Build new MRCs.
-	mrcs := make([]*column.MRC, t.schema.Len())
-	var groupFields []schema.Field
-	var groupCols []int
-	groupIdx := make([]int, t.schema.Len())
-	for i := range groupIdx {
-		groupIdx[i] = -1
-	}
-	for col := 0; col < t.schema.Len(); col++ {
-		f := t.schema.Field(col)
-		if layout[col] {
-			colVals := make([]value.Value, len(rows))
-			for r := range rows {
-				colVals[r] = rows[r][col]
-			}
-			mrc, err := column.Build(f.Name, f.Type, colVals)
-			if err != nil {
-				return fmt.Errorf("table %s: merge build MRC %q: %w", t.name, f.Name, err)
-			}
-			mrcs[col] = mrc
-		} else {
-			groupIdx[col] = len(groupFields)
-			groupFields = append(groupFields, f)
-			groupCols = append(groupCols, col)
-		}
-	}
-
-	// Build the SSCG for evicted columns.
-	var group *sscg.Group
-	if len(groupFields) > 0 {
-		groupRows := make([][]value.Value, len(rows))
-		for r := range rows {
-			gr := make([]value.Value, len(groupCols))
-			for gi, col := range groupCols {
-				gr[gi] = rows[r][col]
-			}
-			groupRows[r] = gr
-		}
-		var err error
-		group, err = sscg.Build(groupFields, groupRows, t.store, t.cache)
-		if err != nil {
-			return fmt.Errorf("table %s: merge build SSCG: %w", t.name, err)
-		}
-	}
-
-	// Fresh MVCC state: all merged rows are committed & live.
-	versions := mvcc.NewVersions()
-	for range rows {
-		versions.AppendCommitted(snapshot)
-	}
-
-	// Install the new main partition and reset the delta.
-	t.mainRows = len(rows)
-	t.layout = append([]bool(nil), layout...)
-	t.mrcs = mrcs
-	t.group = group
-	t.groupIdx = groupIdx
-	t.mainVersions = versions
-	t.delta = delta.New(t.schema)
-	t.delta.Observe(t.registry) // fresh partition, fresh handles
-	t.distinct = distinct
-	t.hists = hists
-	t.cMerges.Inc()
-
-	// Rebuild indexes over the new main partition.
-	for col := range t.indexes {
-		if err := t.buildIndexLocked(col); err != nil {
-			return err
-		}
-	}
-	for _, idx := range t.composites {
-		if err := t.buildCompositeLocked(idx.cols); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // tupleLocked reconstructs a main-partition tuple; caller holds t.mu.
@@ -500,18 +482,21 @@ func (t *Table) tupleLocked(id RowID) ([]value.Value, error) {
 func (t *Table) VisibleCount() int {
 	snapshot := t.mgr.LastCommit()
 	t.mu.RLock()
-	mainRows := t.mainRows
+	mainRows, vers, frozen, active := t.mainRows, t.mainVersions, t.frozen, t.delta
 	t.mu.RUnlock()
 	n := 0
 	for row := 0; row < mainRows; row++ {
-		if t.mainVersions.Visible(row, snapshot, 0) {
+		if vers.Visible(row, snapshot, 0) {
 			n++
 		}
 	}
-	return n + len(t.delta.VisibleRows(snapshot, 0))
+	if frozen != nil {
+		n += len(frozen.VisibleRows(snapshot, 0))
+	}
+	return n + len(active.VisibleRows(snapshot, 0))
 }
 
-// MemoryBytes returns the table's DRAM footprint: MRCs, delta, MVCC
+// MemoryBytes returns the table's DRAM footprint: MRCs, deltas, MVCC
 // vectors (indexes excluded for parity with the paper's budget metric,
 // which covers attribute data).
 func (t *Table) MemoryBytes() int64 {
@@ -522,6 +507,9 @@ func (t *Table) MemoryBytes() int64 {
 		if mrc != nil {
 			b += mrc.Bytes()
 		}
+	}
+	if t.frozen != nil {
+		b += t.frozen.Bytes()
 	}
 	return b + t.delta.Bytes() + t.mainVersions.Bytes()
 }
@@ -548,6 +536,11 @@ func (t *Table) DistinctCount(col int) int {
 	n := t.distinct[col]
 	if d := t.delta.DistinctCount(col); d > n {
 		n = d
+	}
+	if t.frozen != nil {
+		if d := t.frozen.DistinctCount(col); d > n {
+			n = d
+		}
 	}
 	if n < 1 {
 		n = 1

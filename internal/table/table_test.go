@@ -147,6 +147,11 @@ func TestInsertDeleteUpdateThroughTransactions(t *testing.T) {
 	if tbl.Visible(3, late.Snapshot(), late.ID()) {
 		t.Error("deleted row visible")
 	}
+	// Close the reader: an open snapshot would (correctly) hold dead
+	// versions in the delta across the merge below.
+	if err := mgr.Abort(late); err != nil {
+		t.Fatal(err)
+	}
 
 	// Update a main-partition row (delete + insert).
 	tx = mgr.Begin()

@@ -27,6 +27,7 @@ package tierdb
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"tierdb/internal/amm"
 	"tierdb/internal/device"
@@ -98,6 +99,18 @@ type Config struct {
 	// are on by default; disabled instances hand out nil instruments,
 	// which cost nothing on the hot paths.
 	DisableMetrics bool
+	// MergeDeltaRows triggers a background online merge of a table once
+	// its active delta holds at least this many rows; 0 disables the
+	// row threshold. Manual Table.MergeAsync works regardless.
+	MergeDeltaRows int
+	// MergeDeltaBytes triggers a background online merge once a table's
+	// delta footprint reaches this many bytes; 0 disables the byte
+	// threshold.
+	MergeDeltaBytes int64
+	// MergeInterval is how often the merge scheduler checks the
+	// thresholds; 0 selects DefaultMergeInterval. Irrelevant when both
+	// thresholds are 0.
+	MergeInterval time.Duration
 }
 
 // DB is a database instance: a shared transaction manager, a modeled
@@ -113,6 +126,7 @@ type DB struct {
 	parallel int
 	registry *metrics.Registry
 	tables   map[string]*Table
+	sched    *mergeScheduler
 }
 
 // Open creates a database instance.
@@ -154,7 +168,7 @@ func Open(cfg Config) (*DB, error) {
 	}
 	mgr := mvcc.NewManager()
 	mgr.Observe(registry)
-	return &DB{
+	db := &DB{
 		mgr:      mgr,
 		clock:    clock,
 		store:    timed,
@@ -164,7 +178,9 @@ func Open(cfg Config) (*DB, error) {
 		parallel: cfg.Parallelism,
 		registry: registry,
 		tables:   make(map[string]*Table),
-	}, nil
+	}
+	db.sched = startMergeScheduler(db, cfg)
+	return db, nil
 }
 
 // Registry exposes the engine's metrics registry (nil when metrics are
@@ -253,5 +269,9 @@ func (db *DB) Tables() []string {
 	return out
 }
 
-// Close releases the underlying page store.
-func (db *DB) Close() error { return db.store.Close() }
+// Close stops the background merge scheduler (waiting for an in-flight
+// merge to finish) and releases the underlying page store.
+func (db *DB) Close() error {
+	db.sched.shutdown()
+	return db.store.Close()
+}
