@@ -1,0 +1,160 @@
+// Command obssmoke is the CI observability smoke test: it boots an
+// engine with the observability server on a random port, drives a
+// small skewed workload, then fetches every endpoint like an external
+// scraper would and exits non-zero on any non-200 response, an
+// exposition that fails the strict Prometheus parser, or an advisor
+// answer without a usable recommendation.
+//
+//	go run ./cmd/obssmoke
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"tierdb"
+	"tierdb/internal/obsrv"
+)
+
+func fetch(base, path string) ([]byte, error) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, body)
+	}
+	return body, nil
+}
+
+func run() error {
+	db, err := tierdb.Open(tierdb.Config{
+		Device:             "CSSD",
+		CacheFrames:        128,
+		ObsAddr:            "127.0.0.1:0",
+		SlowQueryThreshold: 100 * time.Microsecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable("orders", []tierdb.Field{
+		{Name: "id", Type: tierdb.Int64Type},
+		{Name: "region", Type: tierdb.Int64Type},
+		{Name: "amount", Type: tierdb.Int64Type},
+		{Name: "payload", Type: tierdb.Int64Type},
+	})
+	if err != nil {
+		return err
+	}
+	rows := make([][]tierdb.Value, 50_000)
+	for i := range rows {
+		rows[i] = []tierdb.Value{
+			tierdb.Int(int64(i)), tierdb.Int(int64(i % 25)),
+			tierdb.Int(int64(i % 1000)), tierdb.Int(int64(i % 7)),
+		}
+	}
+	if err := tbl.BulkLoad(rows); err != nil {
+		return err
+	}
+	// Hot column evicted, cold ones resident: the advisor must object.
+	if err := tbl.ApplyLayout(tierdb.Layout{InDRAM: []bool{true, false, true, true}}); err != nil {
+		return err
+	}
+	region, err := tbl.Eq("region", tierdb.Int(7))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := tbl.Select(nil, []tierdb.Predicate{region}, "amount"); err != nil {
+			return err
+		}
+	}
+	base := db.ObsURL()
+	fmt.Printf("observability server at %s\n", base)
+
+	exposition, err := fetch(base, "/metrics")
+	if err != nil {
+		return err
+	}
+	if err := obsrv.ValidateExposition(exposition); err != nil {
+		return fmt.Errorf("/metrics failed the exposition parser: %w", err)
+	}
+	fmt.Printf("/metrics: %d bytes of valid exposition\n", len(exposition))
+
+	if _, err := fetch(base, "/debug/pprof/goroutine?debug=1"); err != nil {
+		return err
+	}
+	fmt.Println("/debug/pprof/goroutine: ok")
+
+	body, err := fetch(base, "/workload")
+	if err != nil {
+		return err
+	}
+	var wl struct {
+		Tables []tierdb.TableWorkloadReport `json:"tables"`
+	}
+	if err := json.Unmarshal(body, &wl); err != nil {
+		return fmt.Errorf("/workload: %w", err)
+	}
+	if len(wl.Tables) != 1 || len(wl.Tables[0].Plans) == 0 {
+		return fmt.Errorf("/workload reported no captured plans: %s", body)
+	}
+	fmt.Printf("/workload: %d plans over %d columns\n", len(wl.Tables[0].Plans), len(wl.Tables[0].Columns))
+
+	body, err = fetch(base, "/traces")
+	if err != nil {
+		return err
+	}
+	var traces struct {
+		Added uint64 `json:"added"`
+	}
+	if err := json.Unmarshal(body, &traces); err != nil {
+		return fmt.Errorf("/traces: %w", err)
+	}
+	if traces.Added == 0 {
+		return fmt.Errorf("/traces captured nothing")
+	}
+	fmt.Printf("/traces: %d captured\n", traces.Added)
+
+	body, err = fetch(base, "/layout/advisor?table=orders")
+	if err != nil {
+		return err
+	}
+	var adv struct {
+		Reports []*tierdb.AdvisorReport `json:"reports"`
+	}
+	if err := json.Unmarshal(body, &adv); err != nil {
+		return fmt.Errorf("/layout/advisor: %w", err)
+	}
+	if len(adv.Reports) != 1 {
+		return fmt.Errorf("/layout/advisor returned %d reports, want 1", len(adv.Reports))
+	}
+	rep := adv.Reports[0]
+	if !rep.Changed || len(rep.Recommended.InDRAM) != 4 {
+		return fmt.Errorf("advisor did not recommend fixing the bad layout: %s", body)
+	}
+	if err := tbl.ApplyLayout(tierdb.Layout{InDRAM: rep.Recommended.InDRAM}); err != nil {
+		return fmt.Errorf("recommendation not applicable: %w", err)
+	}
+	fmt.Printf("/layout/advisor: recommendation applied (modeled cost %.4g -> %.4g)\n",
+		rep.Current.ModeledCost, rep.Recommended.ModeledCost)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "obssmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("observability smoke: ok")
+}

@@ -22,6 +22,7 @@
 //	tierctl -example 50,500 -w 0.3                   # built-in Example 1
 //	tierctl stats -snapshot BENCH_ci.json            # render saved engine metrics
 //	tierctl stats -demo                              # live demo workload + trace
+//	tierctl stats -addr localhost:7070 -watch 2s     # live stats from a running instance
 package main
 
 import (

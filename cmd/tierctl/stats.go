@@ -1,19 +1,25 @@
 // The stats subcommand renders engine metrics as a human-readable
 // report:
 //
-//	tierctl stats -snapshot BENCH_ci.json   # render a saved snapshot
-//	tierctl stats -demo                     # run a demo workload live
+//	tierctl stats -snapshot BENCH_ci.json     # render a saved snapshot
+//	tierctl stats -demo                       # run a demo workload live
+//	tierctl stats -addr localhost:7070        # fetch from a live instance
+//	tierctl stats -addr localhost:7070 -watch 2s   # live refresh
 //
 // -snapshot accepts either a raw metrics snapshot or a benchrunner
-// BENCH_*.json artifact (whose "snapshot" field is used).
+// BENCH_*.json artifact (whose "snapshot" field is used). -addr fetches
+// /stats.json from a running instance's observability server
+// (tierdb.Config.ObsAddr).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"tierdb"
 	"tierdb/internal/metrics"
@@ -23,10 +29,16 @@ func runStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	snapshotPath := fs.String("snapshot", "", "render a saved metrics snapshot or BENCH_*.json artifact")
 	demo := fs.Bool("demo", false, "run a built-in demo workload and print its stats and a query trace")
+	addr := fs.String("addr", "", "fetch live stats from a running instance's observability address (host:port or http://...)")
+	watch := fs.Duration("watch", 0, "with -addr: clear the screen and refresh every interval (e.g. 2s)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 	switch {
+	case *addr != "":
+		if err := watchStats(os.Stdout, *addr, *watch); err != nil {
+			fail("%v", err)
+		}
 	case *snapshotPath != "":
 		out, err := renderStatsFile(*snapshotPath)
 		if err != nil {
@@ -38,7 +50,48 @@ func runStats(args []string) {
 			fail("%v", err)
 		}
 	default:
-		fail("stats needs -snapshot FILE or -demo (see tierctl stats -h)")
+		fail("stats needs -snapshot FILE, -demo or -addr ADDR (see tierctl stats -h)")
+	}
+}
+
+// fetchStats pulls /stats.json from a live observability server.
+func fetchStats(addr string) (metrics.Snapshot, error) {
+	var snap metrics.Snapshot
+	base := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	resp, err := http.Get(base + "/stats.json")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("%s/stats.json: %s", base, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("parse %s/stats.json: %w", base, err)
+	}
+	return snap, nil
+}
+
+// watchStats renders live stats once, or repeatedly every interval
+// when watch > 0 (clearing the terminal between refreshes).
+func watchStats(out *os.File, addr string, watch time.Duration) error {
+	for {
+		snap, err := fetchStats(addr)
+		if err != nil {
+			return err
+		}
+		if watch > 0 {
+			fmt.Fprint(out, "\033[H\033[2J")
+		}
+		fmt.Fprintf(out, "engine metrics from %s at %s\n\n", addr, time.Now().Format(time.RFC3339))
+		fmt.Fprint(out, statsReport(snap))
+		if watch <= 0 {
+			return nil
+		}
+		time.Sleep(watch)
 	}
 }
 

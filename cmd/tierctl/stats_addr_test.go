@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tierdb"
+)
+
+// TestFetchStats round-trips stats from a live instance's
+// observability server — the path behind `tierctl stats -addr`.
+func TestFetchStats(t *testing.T) {
+	db, err := tierdb.Open(tierdb.Config{ObsAddr: "127.0.0.1:0", CacheFrames: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable("t", []tierdb.Field{
+		{Name: "id", Type: tierdb.Int64Type},
+		{Name: "v", Type: tierdb.Int64Type},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]tierdb.Value, 500)
+	for i := range rows {
+		rows[i] = []tierdb.Value{tierdb.Int(int64(i)), tierdb.Int(int64(i % 5))}
+	}
+	if err := tbl.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	p, err := tbl.Eq("v", tierdb.Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Select(nil, []tierdb.Predicate{p}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both bare host:port and full http:// URLs are accepted.
+	for _, addr := range []string{db.ObsURL(), strings.TrimPrefix(db.ObsURL(), "http://")} {
+		snap, err := fetchStats(addr)
+		if err != nil {
+			t.Fatalf("fetchStats(%q): %v", addr, err)
+		}
+		if snap.Counters["exec.queries"] < 1 {
+			t.Errorf("fetchStats(%q): exec.queries = %d", addr, snap.Counters["exec.queries"])
+		}
+		if !strings.Contains(statsReport(snap), "exec.queries") {
+			t.Errorf("fetched snapshot renders without exec.queries")
+		}
+	}
+
+	if _, err := fetchStats("127.0.0.1:1"); err == nil {
+		t.Error("fetchStats against a dead port succeeded")
+	}
+}

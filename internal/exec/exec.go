@@ -11,6 +11,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -89,6 +90,22 @@ type Options struct {
 	// probe switchovers, morsels, rows, modeled DRAM time). Nil runs
 	// unmetered at zero cost.
 	Registry *metrics.Registry
+	// TraceRing, when set, makes every query (Run and RunTraced alike)
+	// capture a full metrics.Trace with its wall-clock duration into
+	// the ring — the feed of the observability server's /traces
+	// endpoint. Nil disables capture; Run then carries no trace at all.
+	TraceRing *metrics.TraceRing
+	// SlowRing additionally receives queries whose wall-clock duration
+	// reaches SlowQueryThreshold (the slow-query log). Requires
+	// TraceRing-style capture to be meaningful but works standalone.
+	SlowRing *metrics.TraceRing
+	// SlowQueryThreshold gates SlowRing; 0 disables the slow-query log.
+	SlowQueryThreshold time.Duration
+	// DisableSelCapture turns off observed-selectivity recording (the
+	// per-column EWMAs on the table and the selectivity.misestimate
+	// histogram). Capture costs one atomic CAS per predicate per query
+	// — never per row.
+	DisableSelCapture bool
 }
 
 // DefaultProbeThreshold is the paper's scan-to-probe switch point.
@@ -106,6 +123,10 @@ type Executor struct {
 	dramTouch   time.Duration
 	parallelism int
 	morselRows  int
+	recent      *metrics.TraceRing
+	slow        *metrics.TraceRing
+	slowThresh  time.Duration
+	selCapture  bool
 	m           execInstruments
 }
 
@@ -128,6 +149,11 @@ type execInstruments struct {
 	rowsMaterialized *metrics.Counter
 	dramNs           *metrics.Counter
 	dramScanBytes    *metrics.Counter
+	slowQueries      *metrics.Counter
+	tracesCaptured   *metrics.Counter
+	selSamples       *metrics.Counter
+	misestimate      *metrics.Histogram
+	wallNs           *metrics.Histogram
 }
 
 // newExecInstruments resolves the executor's instruments from r (all
@@ -148,6 +174,11 @@ func newExecInstruments(r *metrics.Registry) execInstruments {
 		rowsMaterialized: r.Counter("exec.rows.materialized"),
 		dramNs:           r.Counter("exec.dram_ns"),
 		dramScanBytes:    r.Counter("exec.dram.scan_bytes"),
+		slowQueries:      r.Counter("exec.slow_queries"),
+		tracesCaptured:   r.Counter("obs.traces_captured"),
+		selSamples:       r.Counter("selectivity.samples"),
+		misestimate:      r.Histogram("selectivity.misestimate", metrics.MisestimateBuckets()),
+		wallNs:           r.Histogram("exec.wall_ns", metrics.IOLatencyBuckets()),
 	}
 }
 
@@ -176,6 +207,10 @@ func New(tbl *table.Table, opts Options) *Executor {
 		dramTouch:   opts.DRAMTouch,
 		parallelism: opts.Parallelism,
 		morselRows:  opts.MorselRows,
+		recent:      opts.TraceRing,
+		slow:        opts.SlowRing,
+		slowThresh:  opts.SlowQueryThreshold,
+		selCapture:  !opts.DisableSelCapture,
 		m:           newExecInstruments(opts.Registry),
 	}
 }
@@ -204,9 +239,14 @@ func (e *Executor) chargeTouches(tr *metrics.Trace, n int) {
 }
 
 // Run executes q at the transaction's snapshot (tx may be nil for a
-// read at the latest snapshot).
+// read at the latest snapshot). When a trace ring is configured, the
+// query is captured exactly like RunTraced.
 func (e *Executor) Run(q Query, tx *mvcc.Tx) (*Result, error) {
-	return e.run(q, tx, nil)
+	if e.recent == nil && e.slow == nil {
+		return e.run(q, tx, nil)
+	}
+	res, _, err := e.RunTraced(q, tx)
+	return res, err
 }
 
 // RunTraced is Run with per-query tracing: the returned Trace records
@@ -214,7 +254,9 @@ func (e *Executor) Run(q Query, tx *mvcc.Tx) (*Result, error) {
 // scan-to-probe switchovers), morsels per worker, rows qualified and
 // the modeled cost split per device. The trace's device attribution
 // assumes no concurrent query shares the executor's clock; the trace
-// is partially filled when an error is returned.
+// is partially filled when an error is returned. When trace rings are
+// configured, the trace also enters the recent ring (and the slow ring
+// if the wall-clock duration reaches the slow-query threshold).
 func (e *Executor) RunTraced(q Query, tx *mvcc.Tx) (*Result, *metrics.Trace, error) {
 	tr := &metrics.Trace{
 		Table:          e.tbl.Name(),
@@ -224,8 +266,56 @@ func (e *Executor) RunTraced(q Query, tx *mvcc.Tx) (*Result, *metrics.Trace, err
 	if timed, ok := e.tbl.Store().(*storage.TimedStore); ok {
 		tr.Device = timed.Profile().Name
 	}
+	start := time.Now()
 	res, err := e.run(q, tx, tr)
+	e.capture(tr, start, time.Since(start), err)
 	return res, tr, err
+}
+
+// capture publishes a finished query's trace into the recent ring and,
+// past the slow-query threshold, the slow ring. No-op without rings.
+func (e *Executor) capture(tr *metrics.Trace, start time.Time, wall time.Duration, err error) {
+	if e.recent == nil && e.slow == nil {
+		return
+	}
+	e.m.wallNs.Observe(int64(wall))
+	entry := &metrics.TraceEntry{
+		UnixNano: start.UnixNano(),
+		WallNs:   int64(wall),
+		Trace:    tr,
+	}
+	if err != nil {
+		entry.Err = err.Error()
+	}
+	e.recent.Add(entry)
+	e.m.tracesCaptured.Inc()
+	if e.slow != nil && e.slowThresh > 0 && wall >= e.slowThresh {
+		// A fresh entry: each ring stamps its own sequence number.
+		slowEntry := *entry
+		e.slow.Add(&slowEntry)
+		e.m.slowQueries.Inc()
+	}
+}
+
+// observeSelectivity folds the measured qualifying fraction of one
+// main-partition predicate application (rows out of rows in) into the
+// column's EWMA on the table, and scores the optimizer's estimate in
+// the selectivity.misestimate histogram (milli-nats of |ln(obs/est)|).
+// A zero-match application is clamped to half a row so the log ratio
+// and the EWMA stay finite and model-valid.
+func (e *Executor) observeSelectivity(p Predicate, in, out int) {
+	if !e.selCapture || in <= 0 {
+		return
+	}
+	f := float64(out) / float64(in)
+	if out == 0 {
+		f = 1 / float64(2*in)
+	}
+	e.tbl.RecordObservedSelectivity(p.Column, f)
+	e.m.selSamples.Inc()
+	if est := e.estimateSelectivity(p); est > 0 {
+		e.m.misestimate.Observe(int64(math.Abs(math.Log(f/est)) * 1000))
+	}
 }
 
 // run executes q, filling tr in when non-nil.
@@ -458,6 +548,7 @@ func (e *Executor) applyMain(v *table.View, p Predicate, cand []uint32, first bo
 	if idx := v.Index(p.Column); idx != nil && first {
 		out := e.indexLookup(v, p, skip, tr)
 		e.m.indexLookups.Inc()
+		e.observeSelectivity(p, mainRows, len(out))
 		tr.Op(metrics.OperatorTrace{
 			Name: "index", Partition: "main", Path: "index", Column: p.Column,
 			RowsIn: mainRows, RowsOut: len(out),
@@ -483,6 +574,7 @@ func (e *Executor) applyMain(v *table.View, p Predicate, cand []uint32, first bo
 			if err != nil {
 				return nil, err
 			}
+			e.observeSelectivity(p, mainRows, len(out))
 			tr.Op(metrics.OperatorTrace{
 				Name: "scan", Partition: "main", Path: "mrc", Column: p.Column,
 				RowsIn: mainRows, RowsOut: len(out),
@@ -505,6 +597,7 @@ func (e *Executor) applyMain(v *table.View, p Predicate, cand []uint32, first bo
 		if err != nil {
 			return nil, err
 		}
+		e.observeSelectivity(p, len(cand), len(out))
 		tr.Op(metrics.OperatorTrace{
 			Name: "probe", Partition: "main", Path: "mrc", Column: p.Column,
 			RowsIn: len(cand), RowsOut: len(out),
@@ -534,6 +627,9 @@ func (e *Executor) applyMain(v *table.View, p Predicate, cand []uint32, first bo
 		if err != nil {
 			return nil, err
 		}
+		// The full-partition match count is the predicate's own marginal
+		// fraction — measured before intersecting with the candidates.
+		e.observeSelectivity(p, mainRows, len(matches))
 		out := matches
 		if !first {
 			out = intersect(cand, matches)
@@ -558,6 +654,7 @@ func (e *Executor) applyMain(v *table.View, p Predicate, cand []uint32, first bo
 	if err != nil {
 		return nil, err
 	}
+	e.observeSelectivity(p, len(cand), len(out))
 	tr.Op(metrics.OperatorTrace{
 		Name: "probe", Partition: "main", Path: "sscg", Column: p.Column,
 		SwitchedToProbe: true, CandidateFraction: fraction,

@@ -261,6 +261,7 @@ func (e *Executor) applyMainParallel(v *table.View, p Predicate, cand []uint32, 
 	if idx := v.Index(p.Column); idx != nil && first {
 		out := e.indexLookup(v, p, skip, tr)
 		e.m.indexLookups.Inc()
+		e.observeSelectivity(p, mainRows, len(out))
 		tr.Op(metrics.OperatorTrace{
 			Name: "index", Partition: "main", Path: "index", Column: p.Column,
 			RowsIn: mainRows, RowsOut: len(out),
@@ -280,6 +281,7 @@ func (e *Executor) applyMainParallel(v *table.View, p Predicate, cand []uint32, 
 			if err != nil {
 				return nil, err
 			}
+			e.observeSelectivity(p, mainRows, len(out))
 			tr.Op(metrics.OperatorTrace{
 				Name: "scan", Partition: "main", Path: "mrc", Column: p.Column,
 				RowsIn: mainRows, RowsOut: len(out), Morsels: opMorsels(),
@@ -292,6 +294,7 @@ func (e *Executor) applyMainParallel(v *table.View, p Predicate, cand []uint32, 
 		if err != nil {
 			return nil, err
 		}
+		e.observeSelectivity(p, len(cand), len(out))
 		tr.Op(metrics.OperatorTrace{
 			Name: "probe", Partition: "main", Path: "mrc", Column: p.Column,
 			RowsIn: len(cand), RowsOut: len(out), Morsels: opMorsels(),
@@ -319,6 +322,8 @@ func (e *Executor) applyMainParallel(v *table.View, p Predicate, cand []uint32, 
 		if err != nil {
 			return nil, err
 		}
+		// Marginal fraction over the full partition, as on the serial path.
+		e.observeSelectivity(p, mainRows, len(matches))
 		out := matches
 		if !first {
 			out = intersect(cand, matches)
@@ -341,6 +346,7 @@ func (e *Executor) applyMainParallel(v *table.View, p Predicate, cand []uint32, 
 	if err != nil {
 		return nil, err
 	}
+	e.observeSelectivity(p, len(cand), len(out))
 	tr.Op(metrics.OperatorTrace{
 		Name: "probe", Partition: "main", Path: "sscg", Column: p.Column,
 		SwitchedToProbe: true, CandidateFraction: fraction,

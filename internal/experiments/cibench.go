@@ -82,7 +82,13 @@ func CIBench(seed int64) (BenchStats, *Report, error) {
 	}
 
 	clock.Reset()
-	e := exec.New(tbl, exec.Options{Clock: clock, Registry: registry})
+	// Observability capture runs exactly as in production (trace ring +
+	// observed-selectivity EWMAs) so the gate covers its overhead; it
+	// never charges the virtual clock, keeping every modeled gate metric
+	// bit-identical. The slow-query ring stays off: wall time is host
+	// noise.
+	recent := metrics.NewTraceRing(64)
+	e := exec.New(tbl, exec.Options{Clock: clock, Registry: registry, TraceRing: recent})
 	queries := []exec.Query{
 		// DRAM scan over the region MRC.
 		{Predicates: []exec.Predicate{
@@ -149,6 +155,11 @@ func CIBench(seed int64) (BenchStats, *Report, error) {
 		"amm_hit_rate":     ammStats.HitRate(),
 		"switchovers":      float64(snap.Counters["exec.switch.scan_to_probe"]),
 		"merge_rebuild_ns": float64(mergeNS),
+		// Deterministic count of observability capture work (query traces
+		// ringed + selectivity samples recorded). Not direction-gated, but
+		// its disappearance from a run fails the gate: capture must not be
+		// silently lost.
+		"obs_capture": float64(snap.Counters["obs.traces_captured"] + snap.Counters["selectivity.samples"]),
 	}
 
 	r := &Report{

@@ -170,6 +170,13 @@ func ExpBuckets(start int64, factor float64, n int) []int64 {
 // for DRAM faults and spun-down HDDs alike.
 func IOLatencyBuckets() []int64 { return ExpBuckets(1_000, 2, 25) }
 
+// MisestimateBuckets holds upper bounds for the selectivity
+// misestimation histogram. Observations are |ln(observed/estimated)|
+// in milli-nats: 693 is a 2x mis-estimate, 2303 is 10x, 4605 is 100x.
+func MisestimateBuckets() []int64 {
+	return []int64{25, 50, 100, 200, 400, 693, 1000, 1500, 2303, 3000, 4605, 6908}
+}
+
 // Registry is a named set of instruments. Looking an instrument up is
 // mutex-protected (do it once at setup); using an instrument is purely
 // atomic. A nil *Registry is valid and hands out nil instruments, so a
@@ -246,14 +253,18 @@ type GaugeSnapshot struct {
 }
 
 // Bucket is one histogram bucket: observations <= Le (the overflow
-// bucket has Le == -1).
+// bucket has Le == -1). Count is the bucket's own observation count,
+// not cumulative; renderers that need Prometheus-style cumulative `le`
+// series accumulate over the ascending bounds.
 type Bucket struct {
 	Le    int64 `json:"le"`
 	Count int64 `json:"count"`
 }
 
-// HistogramSnapshot is the frozen state of one histogram; only
-// non-empty buckets are kept.
+// HistogramSnapshot is the frozen state of one histogram. Every
+// configured bucket is present — bounds ascending, the overflow bucket
+// (Le == -1) last, empty buckets included — so renderers can emit the
+// full cumulative bucket series.
 type HistogramSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
@@ -291,16 +302,13 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.histograms {
 		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		hs.Buckets = make([]Bucket, len(h.buckets))
 		for i := range h.buckets {
-			n := h.buckets[i].Load()
-			if n == 0 {
-				continue
-			}
 			le := int64(-1)
 			if i < len(h.bounds) {
 				le = h.bounds[i]
 			}
-			hs.Buckets = append(hs.Buckets, Bucket{Le: le, Count: n})
+			hs.Buckets[i] = Bucket{Le: le, Count: h.buckets[i].Load()}
 		}
 		s.Histograms[name] = hs
 	}
@@ -340,6 +348,9 @@ func (s Snapshot) Render() string {
 			}
 			fmt.Fprintf(&b, "%s: count=%d sum=%d mean=%d\n", n, h.Count, h.Sum, mean)
 			for _, bk := range h.Buckets {
+				if bk.Count == 0 {
+					continue
+				}
 				if bk.Le < 0 {
 					fmt.Fprintf(&b, "  le=+Inf  %d\n", bk.Count)
 				} else {

@@ -40,8 +40,10 @@ func TestCounterGaugeHistogramBasics(t *testing.T) {
 	}
 	snap := r.Snapshot()
 	hs := snap.Histograms["h"]
-	// Buckets: le=10 holds {1,10}, le=100 holds {11,99}, overflow {5000}.
-	want := []Bucket{{Le: 10, Count: 2}, {Le: 100, Count: 2}, {Le: -1, Count: 1}}
+	// Every configured bucket is exported, empty ones included: le=10
+	// holds {1,10}, le=100 holds {11,99}, le=1000 nothing, overflow
+	// {5000}.
+	want := []Bucket{{Le: 10, Count: 2}, {Le: 100, Count: 2}, {Le: 1000, Count: 0}, {Le: -1, Count: 1}}
 	if len(hs.Buckets) != len(want) {
 		t.Fatalf("buckets = %+v, want %+v", hs.Buckets, want)
 	}

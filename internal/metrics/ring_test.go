@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTraceRingBasics(t *testing.T) {
+	r := NewTraceRing(4)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot has %d entries", len(got))
+	}
+	for i := 0; i < 6; i++ {
+		r.Add(&TraceEntry{WallNs: int64(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(got))
+	}
+	// Newest first: wall 5,4,3,2 with sequence numbers 5,4,3,2.
+	for i, e := range got {
+		wantSeq := uint64(5 - i)
+		if e.Seq != wantSeq || e.WallNs != int64(wantSeq) {
+			t.Errorf("entry %d: seq=%d wall=%d, want seq=%d", i, e.Seq, e.WallNs, wantSeq)
+		}
+	}
+	if r.Added() != 6 {
+		t.Errorf("Added() = %d, want 6", r.Added())
+	}
+	if r.Cap() != 4 {
+		t.Errorf("Cap() = %d, want 4", r.Cap())
+	}
+}
+
+func TestTraceRingNil(t *testing.T) {
+	var r *TraceRing
+	r.Add(&TraceEntry{}) // must not panic
+	if r.Snapshot() != nil || r.Cap() != 0 || r.Added() != 0 {
+		t.Error("nil ring is not inert")
+	}
+}
+
+func TestTraceRingMinimumCapacity(t *testing.T) {
+	r := NewTraceRing(0)
+	r.Add(&TraceEntry{})
+	if r.Cap() != 1 || len(r.Snapshot()) != 1 {
+		t.Errorf("zero-capacity ring: cap=%d len=%d, want 1/1", r.Cap(), len(r.Snapshot()))
+	}
+}
+
+// TestTraceRingBoundedUnderRace hammers one ring from many goroutines
+// while readers snapshot concurrently: the ring must never yield more
+// than its capacity, every observed entry must be fully published, and
+// no add may be lost (the final sequence count is exact).
+func TestTraceRingBoundedUnderRace(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 5_000
+		cap     = 64
+	)
+	r := NewTraceRing(cap)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				if len(snap) > cap {
+					t.Errorf("snapshot has %d entries, cap %d", len(snap), cap)
+					return
+				}
+				for _, e := range snap {
+					if e == nil || e.Trace == nil {
+						t.Error("snapshot contains partially published entry")
+						return
+					}
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			for i := 0; i < perW; i++ {
+				r.Add(&TraceEntry{WallNs: int64(g*perW + i), Trace: &Trace{Table: "t"}})
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if r.Added() != writers*perW {
+		t.Errorf("Added() = %d, want %d", r.Added(), writers*perW)
+	}
+	if got := len(r.Snapshot()); got != cap {
+		t.Errorf("final snapshot has %d entries, want full ring of %d", got, cap)
+	}
+}

@@ -1,0 +1,35 @@
+package obsrv
+
+import (
+	"testing"
+
+	"tierdb/internal/metrics"
+)
+
+// FuzzPrometheusExposition drives RenderPrometheus with a registry
+// derived from arbitrary bytes — hostile instrument names, arbitrary
+// counter/gauge/histogram values — and asserts the output always
+// passes the strict exposition parser: legal name charset, escaped
+// labels, monotone cumulative buckets, +Inf == _count.
+func FuzzPrometheusExposition(f *testing.F) {
+	f.Add([]byte("exec.rows\x00scanned\xffweird"), int64(42), int64(7))
+	f.Add([]byte("a"), int64(-5), int64(0))
+	f.Add([]byte("selectivity.misestimate{evil=\"x\"}\n# HELP"), int64(1<<40), int64(3))
+	f.Fuzz(func(t *testing.T, name []byte, v int64, obs int64) {
+		reg := metrics.NewRegistry()
+		n := string(name)
+		if n == "" {
+			n = "empty"
+		}
+		reg.Counter(n).Add(v)
+		reg.Gauge(n + ".gauge").Set(v)
+		h := reg.Histogram(n+".hist", []int64{1, 10, 100})
+		for i := int64(0); i < obs%64; i++ {
+			h.Observe(v + i)
+		}
+		out := RenderPrometheus(reg.Snapshot())
+		if err := ValidateExposition(out); err != nil {
+			t.Fatalf("rendered exposition invalid: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,345 @@
+// Package obsrv is tierdb's embedded observability server: a plain
+// net/http handler that surfaces engine metrics (Prometheus text
+// exposition and raw JSON), pprof profiles, the recent/slow query
+// trace rings, the captured workload (the cost model's b_j, q_j, s_i
+// inputs), and a live layout advisor that re-runs the column-selection
+// model against the observed workload.
+//
+// The package deliberately does not import the root tierdb package
+// (which imports the packages this one reports on); the root wires a
+// Server up with closures and the typed report structs defined here.
+package obsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+
+	"tierdb/internal/metrics"
+)
+
+// Server holds the data sources the HTTP handlers render. Every field
+// is optional: handlers whose source is nil answer 404, so a partially
+// wired server (e.g. in tests) still serves the rest.
+type Server struct {
+	// Snapshot returns the current metrics snapshot; feeds /metrics
+	// and /stats.json.
+	Snapshot func() metrics.Snapshot
+	// Recent and Slow are the query trace rings behind /traces.
+	Recent *metrics.TraceRing
+	Slow   *metrics.TraceRing
+	// SlowThreshold is reported alongside /traces?slow=1 output.
+	SlowThreshold time.Duration
+	// Workload reports the captured per-table workload for /workload.
+	Workload func() []TableWorkload
+	// Advise runs the layout advisor for one table (/layout/advisor).
+	Advise func(table string, q AdvisorQuery) (*AdvisorReport, error)
+	// Tables lists table names, used when /layout/advisor is asked to
+	// advise everything.
+	Tables func() []string
+}
+
+// AdvisorQuery carries the /layout/advisor knobs.
+type AdvisorQuery struct {
+	// BudgetBytes caps DRAM for the recommended placement; 0 means
+	// "use the table's current DRAM footprint" so the advisor answers
+	// "could these same bytes be spent better".
+	BudgetBytes int64
+	// RelativeBudget, when >0, overrides BudgetBytes as a fraction of
+	// the table's all-in-DRAM footprint (the paper's relative MMB).
+	RelativeBudget float64
+	// MinSamples is how many observed-selectivity samples a column
+	// needs before the advisor trusts its EWMA over the static
+	// estimate. Zero selects the default.
+	MinSamples int
+}
+
+// TableWorkload is the /workload report for one table: the captured
+// inputs of the paper's cost model.
+type TableWorkload struct {
+	Table          string           `json:"table"`
+	Rows           int              `json:"rows"`
+	MemoryBytes    int64            `json:"memory_bytes"`
+	SecondaryBytes int64            `json:"secondary_bytes"`
+	Columns        []WorkloadColumn `json:"columns"`
+	// Plans is the all-time plan cache: each distinct filtered column
+	// set (b_j) with its observed frequency (q_j).
+	Plans []PlanInfo `json:"plans,omitempty"`
+	// CurrentWindow holds the plans of the open history window.
+	CurrentWindow []PlanInfo `json:"current_window,omitempty"`
+	ClosedWindows int        `json:"closed_windows"`
+}
+
+// WorkloadColumn describes one column's model inputs.
+type WorkloadColumn struct {
+	Index     int    `json:"index"`
+	Name      string `json:"name"`
+	SizeBytes int64  `json:"size_bytes"`
+	InDRAM    bool   `json:"in_dram"`
+	// AccessCount is the plan-weighted access frequency g_i.
+	AccessCount float64 `json:"access_count"`
+	// EstimatedSelectivity is the static estimate (1/distinct).
+	EstimatedSelectivity float64 `json:"estimated_selectivity"`
+	// ObservedSelectivity is the runtime EWMA of qualifying fractions;
+	// zero until ObservedSamples > 0.
+	ObservedSelectivity float64 `json:"observed_selectivity,omitempty"`
+	ObservedSamples     int64   `json:"observed_samples,omitempty"`
+}
+
+// PlanInfo is one access plan: a filtered column set and how often it
+// was seen.
+type PlanInfo struct {
+	Columns []int    `json:"columns"`
+	Names   []string `json:"names,omitempty"`
+	Count   float64  `json:"count"`
+}
+
+// Placement is one evaluated data placement: the DRAM bitmap plus its
+// modeled memory footprint and scan cost under the captured workload.
+type Placement struct {
+	InDRAM      []bool  `json:"in_dram"`
+	MemoryBytes int64   `json:"memory_bytes"`
+	ModeledCost float64 `json:"modeled_cost"`
+}
+
+// AdvisorColumn explains the advisor's view of one column.
+type AdvisorColumn struct {
+	Index     int    `json:"index"`
+	Name      string `json:"name"`
+	SizeBytes int64  `json:"size_bytes"`
+	// Selectivity is the value the model was fed; SelectivitySource
+	// says whether it came from the observed EWMA or the static
+	// estimate.
+	Selectivity       float64 `json:"selectivity"`
+	SelectivitySource string  `json:"selectivity_source"`
+	ObservedSamples   int64   `json:"observed_samples,omitempty"`
+	AccessCount       float64 `json:"access_count"`
+	InDRAMNow         bool    `json:"in_dram_now"`
+	InDRAMRecommended bool    `json:"in_dram_recommended"`
+}
+
+// AdvisorReport is the /layout/advisor answer for one table.
+type AdvisorReport struct {
+	Table           string          `json:"table"`
+	Method          string          `json:"method"`
+	BudgetBytes     int64           `json:"budget_bytes"`
+	RelativeBudget  float64         `json:"relative_budget,omitempty"`
+	MinSamples      int             `json:"min_samples"`
+	ObservedColumns int             `json:"observed_columns"`
+	Queries         float64         `json:"queries"`
+	Current         Placement       `json:"current"`
+	Recommended     Placement       `json:"recommended"`
+	CostDelta       float64         `json:"cost_delta"`
+	Improvement     float64         `json:"improvement"`
+	Changed         bool            `json:"changed"`
+	Columns         []AdvisorColumn `json:"columns"`
+}
+
+// Handler returns the observability mux. pprof is wired explicitly so
+// nothing leaks onto http.DefaultServeMux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.serveIndex)
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/stats.json", s.serveStatsJSON)
+	mux.HandleFunc("/traces", s.serveTraces)
+	mux.HandleFunc("/workload", s.serveWorkload)
+	mux.HandleFunc("/layout/advisor", s.serveAdvisor)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `tierdb observability
+  /metrics            Prometheus text exposition
+  /stats.json         raw metrics snapshot (JSON)
+  /traces             recent query traces (?slow=1 ?n=20 ?format=text)
+  /workload           captured workload: plans, access counts, selectivities
+  /layout/advisor     layout recommendation (?table= ?budget= ?w= ?min_samples=)
+  /debug/pprof/       runtime profiles
+`)
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.Snapshot == nil {
+		http.Error(w, "no metrics source", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(RenderPrometheus(s.Snapshot()))
+}
+
+func (s *Server) serveStatsJSON(w http.ResponseWriter, r *http.Request) {
+	if s.Snapshot == nil {
+		http.Error(w, "no metrics source", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.Snapshot())
+}
+
+// tracesReply is the JSON shape of /traces.
+type tracesReply struct {
+	Ring            string                `json:"ring"`
+	Capacity        int                   `json:"capacity"`
+	Added           uint64                `json:"added"`
+	SlowThresholdNs int64                 `json:"slow_threshold_ns,omitempty"`
+	Entries         []*metrics.TraceEntry `json:"entries"`
+}
+
+func (s *Server) serveTraces(w http.ResponseWriter, r *http.Request) {
+	ring, name := s.Recent, "recent"
+	if r.URL.Query().Get("slow") == "1" {
+		ring, name = s.Slow, "slow"
+	}
+	if ring == nil {
+		http.Error(w, "trace capture not enabled", http.StatusNotFound)
+		return
+	}
+	entries := ring.Snapshot()
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		if n < len(entries) {
+			entries = entries[:n]
+		}
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%s traces: %d held (capacity %d, %d captured)\n",
+			name, len(entries), ring.Cap(), ring.Added())
+		for _, e := range entries {
+			fmt.Fprintf(w, "\n#%d %s wall=%s", e.Seq,
+				time.Unix(0, e.UnixNano).UTC().Format(time.RFC3339Nano),
+				time.Duration(e.WallNs))
+			if e.Err != "" {
+				fmt.Fprintf(w, " err=%q", e.Err)
+			}
+			fmt.Fprintln(w)
+			if e.Trace != nil {
+				fmt.Fprintln(w, e.Trace.String())
+			}
+		}
+		return
+	}
+	writeJSON(w, tracesReply{
+		Ring:            name,
+		Capacity:        ring.Cap(),
+		Added:           ring.Added(),
+		SlowThresholdNs: s.SlowThreshold.Nanoseconds(),
+		Entries:         entries,
+	})
+}
+
+func (s *Server) serveWorkload(w http.ResponseWriter, r *http.Request) {
+	if s.Workload == nil {
+		http.Error(w, "no workload source", http.StatusNotFound)
+		return
+	}
+	tables := s.Workload()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Table < tables[j].Table })
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, t := range tables {
+			fmt.Fprintf(w, "table %s: %d rows, %d bytes DRAM, %d bytes secondary, %d closed windows\n",
+				t.Table, t.Rows, t.MemoryBytes, t.SecondaryBytes, t.ClosedWindows)
+			for _, c := range t.Columns {
+				fmt.Fprintf(w, "  col %2d %-12s %8dB g=%-8.6g s_est=%-8.6g", c.Index, c.Name, c.SizeBytes, c.AccessCount, c.EstimatedSelectivity)
+				if c.ObservedSamples > 0 {
+					fmt.Fprintf(w, " s_obs=%-8.6g (%d samples)", c.ObservedSelectivity, c.ObservedSamples)
+				}
+				if c.InDRAM {
+					fmt.Fprint(w, " [DRAM]")
+				}
+				fmt.Fprintln(w)
+			}
+			for _, p := range t.Plans {
+				fmt.Fprintf(w, "  plan b=%v q=%g\n", p.Columns, p.Count)
+			}
+		}
+		return
+	}
+	writeJSON(w, struct {
+		Tables []TableWorkload `json:"tables"`
+	}{tables})
+}
+
+func (s *Server) serveAdvisor(w http.ResponseWriter, r *http.Request) {
+	if s.Advise == nil {
+		http.Error(w, "no advisor source", http.StatusNotFound)
+		return
+	}
+	var q AdvisorQuery
+	qs := r.URL.Query()
+	if v := qs.Get("budget"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "bad budget", http.StatusBadRequest)
+			return
+		}
+		q.BudgetBytes = n
+	}
+	if v := qs.Get("w"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || f > 1 {
+			http.Error(w, "bad w (want 0 < w <= 1)", http.StatusBadRequest)
+			return
+		}
+		q.RelativeBudget = f
+	}
+	if v := qs.Get("min_samples"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad min_samples", http.StatusBadRequest)
+			return
+		}
+		q.MinSamples = n
+	}
+	names := []string{}
+	if t := qs.Get("table"); t != "" {
+		names = append(names, t)
+	} else if s.Tables != nil {
+		names = s.Tables()
+		sort.Strings(names)
+	}
+	reports := make([]*AdvisorReport, 0, len(names))
+	for _, name := range names {
+		rep, err := s.Advise(name, q)
+		if err != nil {
+			status := http.StatusBadRequest
+			if len(names) == 1 {
+				http.Error(w, err.Error(), status)
+				return
+			}
+			continue // skip tables that cannot be advised in the all-tables sweep
+		}
+		reports = append(reports, rep)
+	}
+	writeJSON(w, struct {
+		Reports []*AdvisorReport `json:"reports"`
+	}{reports})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,266 @@
+package obsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tierdb/internal/metrics"
+)
+
+// testServer wires a Server with deterministic stub sources; the
+// end-to-end wiring against a live DB is covered by the root package's
+// observability test.
+func testServer() *Server {
+	recent := metrics.NewTraceRing(8)
+	slow := metrics.NewTraceRing(4)
+	for i := 0; i < 12; i++ {
+		e := &metrics.TraceEntry{
+			UnixNano: int64(1_700_000_000_000_000_000 + i),
+			WallNs:   int64(1000 * (i + 1)),
+			Trace:    &metrics.Trace{Table: "orders", RowsQualified: i},
+		}
+		recent.Add(e)
+		if i%3 == 0 {
+			c := *e
+			slow.Add(&c)
+		}
+	}
+	reg := fixedRegistry()
+	return &Server{
+		Snapshot:      reg.Snapshot,
+		Recent:        recent,
+		Slow:          slow,
+		SlowThreshold: 500 * time.Microsecond,
+		Workload: func() []TableWorkload {
+			return []TableWorkload{{
+				Table:       "orders",
+				Rows:        1000,
+				MemoryBytes: 4096,
+				Columns: []WorkloadColumn{
+					{Index: 0, Name: "id", SizeBytes: 8000, InDRAM: true, AccessCount: 3, EstimatedSelectivity: 0.001},
+					{Index: 1, Name: "status", SizeBytes: 1000, AccessCount: 9, EstimatedSelectivity: 0.25, ObservedSelectivity: 0.4, ObservedSamples: 9},
+				},
+				Plans: []PlanInfo{{Columns: []int{1}, Count: 9}},
+			}}
+		},
+		Tables: func() []string { return []string{"orders"} },
+		Advise: func(table string, q AdvisorQuery) (*AdvisorReport, error) {
+			if table != "orders" {
+				return nil, fmt.Errorf("no such table %q", table)
+			}
+			return &AdvisorReport{
+				Table:       table,
+				Method:      "explicit",
+				BudgetBytes: q.BudgetBytes,
+				Current:     Placement{InDRAM: []bool{true, false}, ModeledCost: 100},
+				Recommended: Placement{InDRAM: []bool{false, true}, ModeledCost: 60},
+				CostDelta:   -40,
+				Improvement: 0.4,
+				Changed:     true,
+			}, nil
+		},
+	}
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServeMetricsAndStats(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics output invalid: %v\n%s", err, body)
+	}
+	if !strings.Contains(string(body), "tierdb_exec_rows_scanned_total 12345") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body = get(t, ts, "/stats.json")
+	if code != http.StatusOK {
+		t.Fatalf("/stats.json: status %d", code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/stats.json not a snapshot: %v", err)
+	}
+	if snap.Counters["exec.rows.scanned"] != 12345 {
+		t.Errorf("snapshot round-trip lost counter: %+v", snap.Counters)
+	}
+}
+
+func TestServeTraces(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces: status %d", code)
+	}
+	var reply struct {
+		Ring     string                `json:"ring"`
+		Capacity int                   `json:"capacity"`
+		Added    uint64                `json:"added"`
+		Entries  []*metrics.TraceEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatalf("/traces: %v", err)
+	}
+	if reply.Ring != "recent" || reply.Capacity != 8 || reply.Added != 12 {
+		t.Errorf("ring header wrong: %+v", reply)
+	}
+	if len(reply.Entries) != 8 {
+		t.Fatalf("ring returned %d entries, want its bound 8", len(reply.Entries))
+	}
+	for i := 1; i < len(reply.Entries); i++ {
+		if reply.Entries[i].Seq > reply.Entries[i-1].Seq {
+			t.Errorf("entries not newest-first at %d", i)
+		}
+	}
+	if tr := reply.Entries[0].Trace; tr == nil || tr.Table != "orders" {
+		t.Errorf("trace payload lost in round-trip: %+v", reply.Entries[0])
+	}
+
+	code, body = get(t, ts, "/traces?slow=1&n=2")
+	if code != http.StatusOK {
+		t.Fatalf("/traces?slow=1: status %d", code)
+	}
+	var slowReply struct {
+		Ring            string                `json:"ring"`
+		SlowThresholdNs int64                 `json:"slow_threshold_ns"`
+		Entries         []*metrics.TraceEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &slowReply); err != nil {
+		t.Fatal(err)
+	}
+	if slowReply.Ring != "slow" || len(slowReply.Entries) != 2 {
+		t.Errorf("slow ring reply wrong: ring=%s entries=%d", slowReply.Ring, len(slowReply.Entries))
+	}
+	if slowReply.SlowThresholdNs != 500_000 {
+		t.Errorf("slow threshold %d, want 500000", slowReply.SlowThresholdNs)
+	}
+
+	if code, _ := get(t, ts, "/traces?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad n accepted: status %d", code)
+	}
+	code, body = get(t, ts, "/traces?format=text")
+	if code != http.StatusOK || !strings.Contains(string(body), "recent traces") {
+		t.Errorf("text format: status %d body %q", code, body)
+	}
+}
+
+func TestServeWorkload(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/workload")
+	if code != http.StatusOK {
+		t.Fatalf("/workload: status %d", code)
+	}
+	var reply struct {
+		Tables []TableWorkload `json:"tables"`
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Tables) != 1 || reply.Tables[0].Table != "orders" {
+		t.Fatalf("workload reply: %+v", reply)
+	}
+	col := reply.Tables[0].Columns[1]
+	if col.ObservedSelectivity != 0.4 || col.ObservedSamples != 9 {
+		t.Errorf("observed selectivity lost: %+v", col)
+	}
+	if code, body := get(t, ts, "/workload?format=text"); code != http.StatusOK ||
+		!strings.Contains(string(body), "s_obs=") {
+		t.Errorf("workload text format: status %d body %q", code, body)
+	}
+}
+
+func TestServeAdvisor(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/layout/advisor?table=orders&budget=2048")
+	if code != http.StatusOK {
+		t.Fatalf("/layout/advisor: status %d: %s", code, body)
+	}
+	var reply struct {
+		Reports []*AdvisorReport `json:"reports"`
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Reports) != 1 {
+		t.Fatalf("want 1 report, got %d", len(reply.Reports))
+	}
+	rep := reply.Reports[0]
+	if rep.BudgetBytes != 2048 || !rep.Changed || rep.CostDelta != -40 {
+		t.Errorf("advisor report: %+v", rep)
+	}
+
+	// No table → advises every table from Tables().
+	code, body = get(t, ts, "/layout/advisor")
+	if code != http.StatusOK {
+		t.Fatalf("all-tables advisor: status %d", code)
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Reports) != 1 || reply.Reports[0].Table != "orders" {
+		t.Errorf("all-tables reports: %+v", reply.Reports)
+	}
+
+	if code, _ := get(t, ts, "/layout/advisor?table=nope"); code != http.StatusBadRequest {
+		t.Errorf("unknown table: status %d", code)
+	}
+	if code, _ := get(t, ts, "/layout/advisor?w=2"); code != http.StatusBadRequest {
+		t.Errorf("bad w accepted: status %d", code)
+	}
+}
+
+func TestServePprofAndIndex(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof goroutine: status %d", code)
+	}
+	code, body = get(t, ts, "/")
+	if code != http.StatusOK || !strings.Contains(string(body), "/layout/advisor") {
+		t.Errorf("index: status %d body %q", code, body)
+	}
+	if code, _ := get(t, ts, "/no/such/page"); code != http.StatusNotFound {
+		t.Errorf("unknown path: status %d", code)
+	}
+}
+
+// TestNilSources proves a partially wired server degrades to 404s
+// instead of panicking.
+func TestNilSources(t *testing.T) {
+	ts := httptest.NewServer((&Server{}).Handler())
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/stats.json", "/traces", "/workload", "/layout/advisor"} {
+		if code, _ := get(t, ts, path); code != http.StatusNotFound {
+			t.Errorf("%s on empty server: status %d, want 404", path, code)
+		}
+	}
+}

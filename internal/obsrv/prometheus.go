@@ -1,0 +1,98 @@
+// Prometheus text exposition (version 0.0.4) rendered from a
+// metrics.Snapshot. The mapping is mechanical: every instrument name
+// is sanitized (dots become underscores) and prefixed with "tierdb_";
+// counters gain the conventional "_total" suffix; gauges emit their
+// value plus a "_max" high-watermark series; histograms emit the full
+// cumulative "le" bucket series with "_sum" and "_count". Output is
+// deterministic (names sorted) so it can be golden-tested.
+package obsrv
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"tierdb/internal/metrics"
+)
+
+// RenderPrometheus renders the snapshot in Prometheus text exposition
+// format.
+func RenderPrometheus(s metrics.Snapshot) []byte {
+	var b bytes.Buffer
+	for _, name := range sortedKeys(s.Counters) {
+		m := promName(name) + "_total"
+		fmt.Fprintf(&b, "# HELP %s tierdb counter %s\n", m, escapeHelp(name))
+		fmt.Fprintf(&b, "# TYPE %s counter\n", m)
+		fmt.Fprintf(&b, "%s %d\n", m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		g := s.Gauges[name]
+		m := promName(name)
+		fmt.Fprintf(&b, "# HELP %s tierdb gauge %s\n", m, escapeHelp(name))
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", m)
+		fmt.Fprintf(&b, "%s %d\n", m, g.Value)
+		fmt.Fprintf(&b, "# HELP %s_max tierdb gauge %s high-watermark\n", m, escapeHelp(name))
+		fmt.Fprintf(&b, "# TYPE %s_max gauge\n", m)
+		fmt.Fprintf(&b, "%s_max %d\n", m, g.Max)
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		m := promName(name)
+		fmt.Fprintf(&b, "# HELP %s tierdb histogram %s\n", m, escapeHelp(name))
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", m)
+		var cum int64
+		for _, bk := range h.Buckets {
+			if bk.Le < 0 {
+				continue // the overflow bucket becomes +Inf below
+			}
+			cum += bk.Count
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", m, bk.Le, cum)
+		}
+		// A snapshot taken mid-observation can have bucket sums briefly
+		// ahead of Count (buckets are bumped before the total); clamping
+		// keeps the cumulative series monotone for scrapers.
+		inf := h.Count
+		if cum > inf {
+			inf = cum
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m, inf)
+		fmt.Fprintf(&b, "%s_sum %d\n", m, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", m, inf)
+	}
+	return b.Bytes()
+}
+
+// promName sanitizes an instrument name into a legal Prometheus metric
+// name under the tierdb namespace: every character outside
+// [a-zA-Z0-9_:] becomes an underscore.
+func promName(name string) string {
+	out := []byte("tierdb_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// escapeHelp escapes a raw instrument name for use as HELP text:
+// the exposition format requires backslash and newline escapes there.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

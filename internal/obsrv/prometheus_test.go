@@ -1,0 +1,102 @@
+package obsrv
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tierdb/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fixedRegistry builds a deterministic registry exercising all three
+// instrument kinds, including an untouched histogram bucket and an
+// overflow observation.
+func fixedRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("exec.rows.scanned")
+	c.Add(12345)
+	reg.Counter("delta.inserts").Inc()
+	g := reg.Gauge("amm.frames_used")
+	g.Set(96)
+	g.Set(64)
+	h := reg.Histogram("exec.scan_ns", []int64{10, 100, 1000})
+	h.Observe(7)
+	h.Observe(7)
+	h.Observe(55)
+	h.Observe(5000)                                   // overflow bucket
+	reg.Histogram("merge.pause_ns", []int64{50, 500}) // never observed
+	return reg
+}
+
+func TestRenderPrometheusGolden(t *testing.T) {
+	got := RenderPrometheus(fixedRegistry().Snapshot())
+	goldenPath := filepath.Join("testdata", "metrics_golden.prom")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("exposition drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateExposition(got); err != nil {
+		t.Errorf("golden output does not validate: %v", err)
+	}
+}
+
+// TestRenderPrometheusCumulative pins the bucket arithmetic: bucket
+// counts in the snapshot are per-bucket, the exposition must be
+// cumulative with +Inf equal to _count.
+func TestRenderPrometheusCumulative(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("io.read_ns", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(50)
+	h.Observe(999)
+	out := string(RenderPrometheus(reg.Snapshot()))
+	for _, want := range []string{
+		`tierdb_io_read_ns_bucket{le="10"} 1`,
+		`tierdb_io_read_ns_bucket{le="100"} 3`,
+		`tierdb_io_read_ns_bucket{le="+Inf"} 4`,
+		"tierdb_io_read_ns_count 4",
+		"tierdb_io_read_ns_sum 1104",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing line %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestValidateExpositionRejects spot-checks the validator's teeth so
+// the fuzz target is meaningful.
+func TestValidateExpositionRejects(t *testing.T) {
+	bad := []struct{ name, in string }{
+		{"bad name", "9leading 1\n"},
+		{"bad value", "metric abc\n"},
+		{"unterminated labels", `metric{le="1 2` + "\n"},
+		{"bad escape", `metric{l="\q"} 1` + "\n"},
+		{"non-cumulative histogram", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n"},
+		{"missing +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_count 5\n"},
+		{"count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 6\n"},
+		{"duplicate TYPE", "# TYPE m counter\n# TYPE m gauge\nm 1\n"},
+		{"unknown type", "# TYPE m matrix\n"},
+	}
+	for _, tc := range bad {
+		if err := ValidateExposition([]byte(tc.in)); err == nil {
+			t.Errorf("%s: validator accepted %q", tc.name, tc.in)
+		}
+	}
+	good := "# HELP m_total helper text here\n# TYPE m_total counter\nm_total 3 1700000000000\n"
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Errorf("validator rejected valid input: %v", err)
+	}
+}

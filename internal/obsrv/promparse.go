@@ -1,0 +1,261 @@
+// A strict, dependency-free parser for the Prometheus text exposition
+// format, used by the renderer's tests and fuzz target. It checks the
+// lexical rules (metric-name and label-name charsets, label-value
+// escaping, float-parseable sample values) plus the structural rules
+// for histograms: strictly ascending "le" bounds, non-decreasing
+// cumulative bucket counts, a terminal +Inf bucket whose value equals
+// the family's _count series.
+package obsrv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type promFamily struct {
+	typ     string
+	buckets map[float64]float64 // le -> cumulative count (for histograms)
+	count   float64
+	hasCnt  bool
+}
+
+// ValidateExposition parses data as Prometheus text exposition format
+// and returns the first violation found, or nil if the input is valid.
+func ValidateExposition(data []byte) error {
+	families := map[string]*promFamily{}
+	family := func(name string) *promFamily {
+		f, ok := families[name]
+		if !ok {
+			f = &promFamily{buckets: map[float64]float64{}}
+			families[name] = f
+		}
+		return f
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "HELP":
+				if !validMetricName(fields[2]) {
+					return fmt.Errorf("line %d: HELP for invalid metric name %q", lineNo, fields[2])
+				}
+			case "TYPE":
+				if !validMetricName(fields[2]) {
+					return fmt.Errorf("line %d: TYPE for invalid metric name %q", lineNo, fields[2])
+				}
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE line without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				f := family(fields[2])
+				if f.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				f.typ = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if base, ok := strings.CutSuffix(name, "_bucket"); ok && family(base).typ == "histogram" {
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket %q without le label", lineNo, name)
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: unparseable le=%q: %v", lineNo, le, err)
+			}
+			f := family(base)
+			if _, dup := f.buckets[bound]; dup {
+				return fmt.Errorf("line %d: duplicate bucket le=%q for %q", lineNo, le, base)
+			}
+			f.buckets[bound] = value
+			continue
+		}
+		if base, ok := strings.CutSuffix(name, "_count"); ok && family(base).typ == "histogram" {
+			f := family(base)
+			f.count, f.hasCnt = value, true
+		}
+	}
+	for name, f := range families {
+		if f.typ != "histogram" || len(f.buckets) == 0 {
+			continue
+		}
+		bounds := make([]float64, 0, len(f.buckets))
+		for le := range f.buckets {
+			bounds = append(bounds, le)
+		}
+		sort.Float64s(bounds)
+		prev := math.Inf(-1)
+		for _, le := range bounds {
+			if c := f.buckets[le]; c < prev {
+				return fmt.Errorf("histogram %q: bucket le=%g count %g below preceding %g (not cumulative)", name, le, c, prev)
+			} else {
+				prev = c
+			}
+		}
+		inf, ok := f.buckets[math.Inf(1)]
+		if !ok {
+			return fmt.Errorf("histogram %q: missing +Inf bucket", name)
+		}
+		if f.hasCnt && inf != f.count {
+			return fmt.Errorf("histogram %q: +Inf bucket %g != _count %g", name, inf, f.count)
+		}
+	}
+	return nil
+}
+
+// parseSample splits "name{label="v",...} value [timestamp]".
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	labels = map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++ // skip escaped char
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		if err := parseLabels(rest[1:end], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("unparseable timestamp %q: %v", fields[1], err)
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parseLabels(s string, out map[string]string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", s)
+		}
+		lname := s[:eq]
+		if !validLabelName(lname) {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return fmt.Errorf("label value for %q not quoted", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return fmt.Errorf("dangling escape in label value")
+				}
+				i++
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("invalid escape \\%c in label value", s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				s = s[i+1:]
+				break
+			}
+			if c == '\n' {
+				return fmt.Errorf("raw newline in label value")
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value for %q", lname)
+		}
+		out[lname] = val.String()
+		s = strings.TrimPrefix(s, ",")
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

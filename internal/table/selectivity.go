@@ -1,0 +1,76 @@
+package table
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// selEWMAAlpha is the smoothing factor of the observed-selectivity
+// estimators: high enough that a workload shift shows up within a few
+// dozen queries, low enough that one outlier predicate (an unusually
+// wide range) does not swing the estimate.
+const selEWMAAlpha = 0.2
+
+// selEstimator is one column's observed-selectivity estimator: an
+// exponentially weighted moving average over the qualifying fractions
+// the executor actually measured, updated lock-free from any number of
+// concurrent queries. The EWMA is stored as float64 bits behind a CAS
+// loop; the sample counter tells consumers (the layout advisor) whether
+// the estimate has seen enough evidence to outrank the static
+// 1/distinct estimate.
+type selEstimator struct {
+	bits    atomic.Uint64 // math.Float64bits of the EWMA; 0 = no samples yet
+	samples atomic.Int64
+}
+
+// record folds one observed fraction into the EWMA.
+func (s *selEstimator) record(f float64) {
+	for {
+		old := s.bits.Load()
+		var next float64
+		if old == 0 { // first sample: positive floats never encode as 0
+			next = f
+		} else {
+			next = (1-selEWMAAlpha)*math.Float64frombits(old) + selEWMAAlpha*f
+		}
+		if s.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			s.samples.Add(1)
+			return
+		}
+	}
+}
+
+// value returns the current EWMA and sample count.
+func (s *selEstimator) value() (float64, int64) {
+	return math.Float64frombits(s.bits.Load()), s.samples.Load()
+}
+
+// RecordObservedSelectivity folds one observed qualifying fraction for
+// col into the column's EWMA estimator. The executor calls this with
+// the per-predicate fraction it measured (rows out / rows in) on both
+// the serial and the parallel scan paths; fractions outside (0, 1] are
+// clamped so the estimate always remains a valid model selectivity.
+// Safe for concurrent use; out-of-range columns are ignored.
+func (t *Table) RecordObservedSelectivity(col int, f float64) {
+	if col < 0 || col >= len(t.observed) {
+		return
+	}
+	if math.IsNaN(f) || f <= 0 {
+		return
+	}
+	if f > 1 {
+		f = 1
+	}
+	t.observed[col].record(f)
+}
+
+// ObservedSelectivity returns the column's observed-selectivity EWMA
+// and how many samples back it. Zero samples means no query has
+// measured the column yet; consumers should then fall back to the
+// static Selectivity estimate.
+func (t *Table) ObservedSelectivity(col int) (sel float64, samples int64) {
+	if col < 0 || col >= len(t.observed) {
+		return 0, 0
+	}
+	return t.observed[col].value()
+}

@@ -91,6 +91,7 @@ type Table struct {
 	composites map[string]compositeIndex // multi-column indexes by canonical column list
 	distinct   []int                     // per-column distinct counts of the main partition
 	hists      []*histogram.Histogram    // per-column equi-depth histograms (may hold nils)
+	observed   []selEstimator            // per-column observed-selectivity EWMAs (lock-free)
 
 	// Test-only synchronization points of the online merge; set before
 	// any merge starts, never under load.
@@ -139,6 +140,7 @@ func New(name string, s *schema.Schema, opts Options) (*Table, error) {
 		epoch:        newEpoch(nil),
 		indexes:      make(map[int]*bptree.Tree),
 		distinct:     make([]int, s.Len()),
+		observed:     make([]selEstimator, s.Len()),
 	}
 	t.delta.Observe(t.registry)
 	for i := range t.groupIdx {

@@ -42,6 +42,15 @@ func (h *History) RecordN(columns []int, n float64) {
 	cur.RecordN(columns, n)
 }
 
+// CurrentPlans returns the distinct plans of the open (not yet closed)
+// window, ordered by descending count.
+func (h *History) CurrentPlans() []Plan {
+	h.mu.Lock()
+	cur := h.current
+	h.mu.Unlock()
+	return cur.Plans()
+}
+
 // CloseWindow freezes the current window into the history and starts a
 // new one. The oldest window is dropped beyond capacity.
 func (h *History) CloseWindow() {

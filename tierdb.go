@@ -26,6 +26,8 @@ package tierdb
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
@@ -111,7 +113,29 @@ type Config struct {
 	// thresholds; 0 selects DefaultMergeInterval. Irrelevant when both
 	// thresholds are 0.
 	MergeInterval time.Duration
+	// ObsAddr, when set, serves the observability HTTP endpoints
+	// (/metrics, /stats.json, /traces, /workload, /layout/advisor,
+	// /debug/pprof/) on this address for the lifetime of the instance.
+	// Use ObsAddr ":0" with ObsURL to grab a random port. Endpoints can
+	// also be served on a caller-owned listener via ServeObservability.
+	ObsAddr string
+	// SlowQueryThreshold routes every query whose wall time reaches it
+	// into the slow-query trace ring (/traces?slow=1) in addition to the
+	// recent ring; 0 disables the slow log.
+	SlowQueryThreshold time.Duration
+	// TraceRingSize bounds the recent and slow trace rings; 0 selects
+	// DefaultTraceRingSize.
+	TraceRingSize int
+	// DisableCapture turns runtime workload capture off: no query trace
+	// rings and no observed-selectivity EWMAs. The observability server
+	// still works but /traces 404s and the layout advisor falls back to
+	// static selectivity estimates.
+	DisableCapture bool
 }
+
+// DefaultTraceRingSize is how many recent (and slow) query traces the
+// observability rings retain when Config.TraceRingSize is zero.
+const DefaultTraceRingSize = 128
 
 // DB is a database instance: a shared transaction manager, a modeled
 // secondary-storage device with a virtual clock, and a set of tables.
@@ -127,6 +151,15 @@ type DB struct {
 	registry *metrics.Registry
 	tables   map[string]*Table
 	sched    *mergeScheduler
+
+	recent     *metrics.TraceRing
+	slow       *metrics.TraceRing
+	slowThresh time.Duration
+	selCapture bool
+
+	obsMu   sync.Mutex
+	obsSrvs []*http.Server
+	obsAddr string
 }
 
 // Open creates a database instance.
@@ -179,7 +212,26 @@ func Open(cfg Config) (*DB, error) {
 		registry: registry,
 		tables:   make(map[string]*Table),
 	}
+	if !cfg.DisableCapture {
+		size := cfg.TraceRingSize
+		if size <= 0 {
+			size = DefaultTraceRingSize
+		}
+		db.recent = metrics.NewTraceRing(size)
+		db.slow = metrics.NewTraceRing(size)
+		db.slowThresh = cfg.SlowQueryThreshold
+		db.selCapture = true
+	}
 	db.sched = startMergeScheduler(db, cfg)
+	if cfg.ObsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.ObsAddr)
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("tierdb: observability listener: %w", err)
+		}
+		db.obsAddr = ln.Addr().String()
+		go db.ServeObservability(ln)
+	}
 	return db, nil
 }
 
@@ -241,10 +293,14 @@ func (db *DB) CreateTable(name string, fields []Field) (*Table, error) {
 // virtual clock.
 func newExecutor(db *DB, inner *table.Table) *exec.Executor {
 	return exec.New(inner, exec.Options{
-		Clock:       db.clock,
-		Threads:     db.threads,
-		Parallelism: db.parallel,
-		Registry:    db.registry,
+		Clock:              db.clock,
+		Threads:            db.threads,
+		Parallelism:        db.parallel,
+		Registry:           db.registry,
+		TraceRing:          db.recent,
+		SlowRing:           db.slow,
+		SlowQueryThreshold: db.slowThresh,
+		DisableSelCapture:  !db.selCapture,
 	})
 }
 
@@ -269,9 +325,17 @@ func (db *DB) Tables() []string {
 	return out
 }
 
-// Close stops the background merge scheduler (waiting for an in-flight
-// merge to finish) and releases the underlying page store.
+// Close shuts down any observability servers, stops the background
+// merge scheduler (waiting for an in-flight merge to finish) and
+// releases the underlying page store.
 func (db *DB) Close() error {
+	db.obsMu.Lock()
+	srvs := db.obsSrvs
+	db.obsSrvs = nil
+	db.obsMu.Unlock()
+	for _, srv := range srvs {
+		srv.Close()
+	}
 	db.sched.shutdown()
 	return db.store.Close()
 }
