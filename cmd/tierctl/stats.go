@@ -143,6 +143,12 @@ func statsReport(snap metrics.Snapshot) string {
 			snap.Counters["merge.failures"],
 			snap.Gauges["delta.active_rows"].Value, snap.Gauges["delta.frozen_rows"].Value)
 	}
+	if appends := snap.Counters["wal.appends"]; appends > 0 || snap.Counters["wal.replayed_records"] > 0 {
+		fmt.Fprintf(&b, "wal: %d appends (%d bytes, %d fsyncs, %d checkpoints); recovery replayed %d records in %s modeled\n",
+			appends, snap.Counters["wal.bytes"], snap.Counters["wal.fsyncs"],
+			snap.Counters["wal.checkpoints"], snap.Counters["wal.replayed_records"],
+			time.Duration(snap.Counters["wal.recovery_ns"]))
+	}
 	if b.Len() > 0 {
 		b.WriteByte('\n')
 	}

@@ -91,6 +91,8 @@ func (t *Table) Snapshot(path string) error {
 
 // RestoreTable loads a table snapshot into this database, re-tiering it
 // onto the database's device and registering it under its saved name.
+// With a WAL configured the restored table is made durable by an
+// immediate checkpoint (its rows are not in the log).
 func (db *DB) RestoreTable(path string) (*Table, error) {
 	inner, err := persist.LoadFile(path, table.Options{
 		Store:   db.store,
@@ -101,12 +103,21 @@ func (db *DB) RestoreTable(path string) (*Table, error) {
 		return nil, err
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, exists := db.tables[inner.Name()]; exists {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("tierdb: table %q already exists", inner.Name())
 	}
 	t := newTableHandle(db, inner)
 	db.tables[inner.Name()] = t
+	db.mu.Unlock()
+	if db.wal != nil {
+		if err := db.Checkpoint(); err != nil {
+			db.mu.Lock()
+			delete(db.tables, inner.Name())
+			db.mu.Unlock()
+			return nil, fmt.Errorf("tierdb: restored table not durable: %w", err)
+		}
+	}
 	return t, nil
 }
 
@@ -117,7 +128,13 @@ func (t *Table) CreateCompositeIndex(columns ...string) error {
 	if err != nil {
 		return err
 	}
-	return t.inner.CreateCompositeIndex(cols)
+	if err := t.inner.CreateCompositeIndex(cols); err != nil {
+		return err
+	}
+	if t.db.wal != nil {
+		return t.db.wal.AppendIndex(t.Name(), cols)
+	}
+	return nil
 }
 
 // LookupComposite returns the rows whose column tuple equals key, via a

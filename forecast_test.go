@@ -1,9 +1,36 @@
 package tierdb
 
 import (
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
+
+	"tierdb/internal/persist"
 )
+
+// TestRestoreTableErrorPaths: restore must reject missing and corrupt
+// snapshot files with a classified error and register nothing.
+func TestRestoreTableErrorPaths(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.RestoreTable(filepath.Join(t.TempDir(), "missing.snap")); err == nil {
+		t.Error("missing snapshot file accepted")
+	}
+	corrupt := filepath.Join(t.TempDir(), "corrupt.snap")
+	if err := os.WriteFile(corrupt, []byte("TIERDB02 then garbage bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RestoreTable(corrupt); !errors.Is(err, persist.ErrBadSnapshot) {
+		t.Errorf("corrupt snapshot error = %v, want ErrBadSnapshot", err)
+	}
+	if len(db.Tables()) != 0 {
+		t.Errorf("failed restores registered tables: %v", db.Tables())
+	}
+}
 
 func TestForecastLayoutFollowsTrend(t *testing.T) {
 	_, tbl := openLoaded(t, 2000)

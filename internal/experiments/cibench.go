@@ -15,6 +15,7 @@ import (
 	"tierdb/internal/storage"
 	"tierdb/internal/table"
 	"tierdb/internal/value"
+	"tierdb/internal/wal"
 )
 
 // BenchStats is the machine-readable artifact of the CI bench gate:
@@ -143,18 +144,29 @@ func CIBench(seed int64) (BenchStats, *Report, error) {
 	}
 	mergeNS := clock.Elapsed() - mergeStart
 
+	// Durability phase: write a fixed 2000-commit write-ahead log, crash
+	// nothing, and replay it into a fresh table. The gate metric is the
+	// modeled single-threaded DRAM sequential read of the replayed bytes
+	// — a deterministic proxy for restart cost that regresses if the
+	// record framing bloats or replay silently drops records.
+	replayNS, err := ciRecovery(seed, s, registry)
+	if err != nil {
+		return stats, nil, err
+	}
+
 	snap := registry.Snapshot()
 	ammStats := cache.Stats()
 	stats.Snapshot = snap
 	stats.Metrics = map[string]float64{
-		"modeled_total_ns": float64(clock.Elapsed()),
-		"exec_dram_ns":     float64(snap.Counters["exec.dram_ns"]),
-		"device_read_ns":   float64(snap.Counters["device.cssd.modeled_read_ns"]),
-		"page_reads":       float64(clock.Reads()),
-		"rows_scanned":     float64(snap.Counters["exec.rows.scanned"]),
-		"amm_hit_rate":     ammStats.HitRate(),
-		"switchovers":      float64(snap.Counters["exec.switch.scan_to_probe"]),
-		"merge_rebuild_ns": float64(mergeNS),
+		"modeled_total_ns":   float64(clock.Elapsed()),
+		"exec_dram_ns":       float64(snap.Counters["exec.dram_ns"]),
+		"device_read_ns":     float64(snap.Counters["device.cssd.modeled_read_ns"]),
+		"page_reads":         float64(clock.Reads()),
+		"rows_scanned":       float64(snap.Counters["exec.rows.scanned"]),
+		"amm_hit_rate":       ammStats.HitRate(),
+		"switchovers":        float64(snap.Counters["exec.switch.scan_to_probe"]),
+		"merge_rebuild_ns":   float64(mergeNS),
+		"recovery_replay_ns": float64(replayNS),
 		// Deterministic count of observability capture work (query traces
 		// ringed + selectivity samples recorded). Not direction-gated, but
 		// its disappearance from a run fails the gate: capture must not be
@@ -178,6 +190,94 @@ func CIBench(seed int64) (BenchStats, *Report, error) {
 	r.AddNote("all gate metrics derive from the virtual clock and a seeded workload: deterministic across machines")
 	return stats, r, nil
 }
+
+// ciRecovery writes a seeded WAL through the real log layer, replays it
+// into a fresh table and returns the modeled replay time (DRAM
+// sequential read over the replayed bytes). Record counts are verified:
+// replay dropping commits fails the run outright rather than shifting a
+// metric.
+func ciRecovery(seed int64, s *schema.Schema, registry *metrics.Registry) (time.Duration, error) {
+	const commits = 2000
+	fs := wal.NewMemFS()
+	log, err := wal.Open(wal.Options{FS: fs, Dir: "wal", Policy: wal.SyncOff, Registry: registry})
+	if err != nil {
+		return 0, err
+	}
+	if err := log.AppendCreateTable("recovered", s.Fields()); err != nil {
+		return 0, err
+	}
+	var ts mvcc.Timestamp = 1
+	for i := 0; i < commits; i++ {
+		ops := []mvcc.RedoOp{{Table: "recovered", Row: []value.Value{
+			value.NewInt(int64(i)),
+			value.NewInt(int64((i + int(seed)) % 100)),
+			value.NewInt(int64(i % 10_000)),
+			value.NewInt(int64(i % 7)),
+		}}}
+		if _, err := log.AppendCommit(func() mvcc.Timestamp { ts++; return ts }, ops); err != nil {
+			return 0, err
+		}
+	}
+	if err := log.Close(); err != nil {
+		return 0, err
+	}
+	h := &ciReplayHandler{mgr: mvcc.NewManager()}
+	rstats, err := wal.Replay(fs, "wal", h)
+	if err != nil {
+		return 0, err
+	}
+	h.mgr.AdvanceTo(rstats.MaxTs)
+	if h.tbl == nil || h.tbl.VisibleCount() != commits {
+		return 0, fmt.Errorf("ci recovery replayed %d of %d commits", h.rows, commits)
+	}
+	return device.DRAM.SequentialReadTime(rstats.Bytes, 1), nil
+}
+
+// ciReplayHandler applies replayed records into a fresh engine table.
+type ciReplayHandler struct {
+	mgr  *mvcc.Manager
+	tbl  *table.Table
+	rows int
+}
+
+func (h *ciReplayHandler) CreateTable(name string, fields []schema.Field) error {
+	s, err := schema.New(fields)
+	if err != nil {
+		return err
+	}
+	h.tbl, err = table.New(name, s, table.Options{Manager: h.mgr})
+	return err
+}
+
+func (h *ciReplayHandler) ApplyLayout(name string, layout []bool) error {
+	return h.tbl.ApplyLayout(layout)
+}
+
+func (h *ciReplayHandler) CreateIndex(name string, cols []int) error {
+	if len(cols) == 1 {
+		return h.tbl.CreateIndex(cols[0])
+	}
+	return h.tbl.CreateCompositeIndex(cols)
+}
+
+func (h *ciReplayHandler) Commit(ts mvcc.Timestamp, ops []mvcc.RedoOp) error {
+	for _, op := range ops {
+		if op.Delete {
+			if err := h.tbl.ReplayDelete(op.Row, ts); err != nil {
+				return err
+			}
+			h.rows--
+			continue
+		}
+		if err := h.tbl.ReplayInsert(op.Row, ts); err != nil {
+			return err
+		}
+		h.rows++
+	}
+	return nil
+}
+
+func (h *ciReplayHandler) Checkpoint(mvcc.Timestamp) {}
 
 // sortedMetricNames returns the metric names in stable order.
 func sortedMetricNames(m map[string]float64) []string {

@@ -56,6 +56,9 @@ type Tx struct {
 	// onAbort callbacks roll provisional state back.
 	onCommit []func(ts Timestamp)
 	onAbort  []func()
+	// redo buffers the transaction's logical writes for the write-ahead
+	// log; empty when durability is off.
+	redo []RedoOp
 }
 
 // ID returns the transaction id.
@@ -73,12 +76,30 @@ func (t *Tx) OnCommit(fn func(ts Timestamp)) { t.onCommit = append(t.onCommit, f
 // OnAbort registers a rollback callback.
 func (t *Tx) OnAbort(fn func()) { t.onAbort = append(t.onAbort, fn) }
 
+// LogRedo buffers one logical write for the write-ahead log; callers
+// only log when durability is configured.
+func (t *Tx) LogRedo(op RedoOp) { t.redo = append(t.redo, op) }
+
+// Redo exposes the buffered redo ops (tests, diagnostics).
+func (t *Tx) Redo() []RedoOp { return t.redo }
+
 // Manager hands out transactions and commit timestamps.
 type Manager struct {
 	mu         sync.Mutex
 	lastCommit Timestamp
 	nextTx     TxID
 	active     map[TxID]Timestamp // snapshot of every unfinished transaction
+
+	// gate is the commit gate: every commit holds it shared from
+	// timestamp allocation through write publication, and a checkpoint
+	// holds it exclusively (QuiescedLastCommit) to obtain a timestamp
+	// with no commit at or below it still unpublished. Without it a
+	// snapshot could miss a committed-but-not-yet-stamped row whose log
+	// record is then truncated — a lost write.
+	gate sync.RWMutex
+	// dur, when set, receives every committed transaction's redo ops
+	// before the commit is acknowledged.
+	dur Durability
 
 	// Per-transaction lifecycle counters (nil → no-op). Visibility
 	// checks are deliberately not counted here: they run per row on the
@@ -139,22 +160,115 @@ func (m *Manager) LastCommit() Timestamp {
 	return m.lastCommit
 }
 
-// Commit assigns the next commit timestamp and publishes the
-// transaction's writes.
+// SetDurability wires a write-ahead log into the commit path. Call it
+// before the first transaction; nil turns durability off.
+func (m *Manager) SetDurability(d Durability) { m.dur = d }
+
+// AdvanceTo raises the commit clock to at least ts. Recovery calls it
+// after replay so fresh commits never reuse a logged timestamp.
+func (m *Manager) AdvanceTo(ts Timestamp) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts > m.lastCommit {
+		m.lastCommit = ts
+	}
+}
+
+// QuiescedLastCommit returns the newest commit timestamp with the
+// guarantee that every commit at or below it is fully published (rows
+// stamped, visible to snapshot scans). It acquires the commit gate
+// exclusively, so it waits out in-flight commits; checkpoints use the
+// result as their snapshot timestamp.
+func (m *Manager) QuiescedLastCommit() Timestamp {
+	m.gate.Lock()
+	defer m.gate.Unlock()
+	return m.LastCommit()
+}
+
+// allocLocked assigns the next commit timestamp and retires t from the
+// active set; called (possibly via the durability layer) under the
+// commit gate.
+func (m *Manager) allocLocked(t *Tx) Timestamp {
+	m.mu.Lock()
+	m.lastCommit++
+	ts := m.lastCommit
+	if t != nil {
+		delete(m.active, t.id)
+	}
+	m.mu.Unlock()
+	return ts
+}
+
+// Commit makes the transaction durable (when a log is configured) and
+// publishes its writes under the commit gate. The timestamp is
+// allocated inside the log's append critical section, so log order
+// equals commit order. If the log append fails the transaction is
+// rolled back and the error returned: nothing was acknowledged, nothing
+// becomes visible.
 func (m *Manager) Commit(t *Tx) (Timestamp, error) {
 	if t.status != Active {
 		return 0, ErrTxFinished
 	}
-	m.mu.Lock()
-	m.lastCommit++
-	ts := m.lastCommit
-	delete(m.active, t.id)
-	m.mu.Unlock()
+	m.gate.RLock()
+	var ts Timestamp
+	if m.dur != nil && len(t.redo) > 0 {
+		allocated := false
+		_, err := m.dur.AppendCommit(func() Timestamp {
+			ts = m.allocLocked(t)
+			allocated = true
+			return ts
+		}, t.redo)
+		if err != nil {
+			m.gate.RUnlock()
+			if !allocated {
+				m.mu.Lock()
+				delete(m.active, t.id)
+				m.mu.Unlock()
+			}
+			for i := len(t.onAbort) - 1; i >= 0; i-- {
+				t.onAbort[i]()
+			}
+			t.status = Aborted
+			m.cAbort.Inc()
+			return 0, fmt.Errorf("mvcc: commit not durable, rolled back: %w", err)
+		}
+	} else {
+		ts = m.allocLocked(t)
+	}
 	for _, fn := range t.onCommit {
 		fn(ts)
 	}
+	m.gate.RUnlock()
 	t.status = Committed
 	m.cCommit.Inc()
+	return ts, nil
+}
+
+// BulkCommit allocates one commit timestamp for a non-transactional
+// bulk write, logs ops (when durability is configured) and runs apply
+// with the timestamp — all under the commit gate, so a concurrent
+// checkpoint either sees the rows applied or replays their log record,
+// never neither.
+func (m *Manager) BulkCommit(ops []RedoOp, apply func(ts Timestamp) error) (Timestamp, error) {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	var ts Timestamp
+	if m.dur != nil && len(ops) > 0 {
+		var err error
+		if _, err = m.dur.AppendCommit(func() Timestamp {
+			ts = m.allocLocked(nil)
+			return ts
+		}, ops); err != nil {
+			return 0, err
+		}
+	} else {
+		ts = m.allocLocked(nil)
+	}
+	if apply != nil {
+		if err := apply(ts); err != nil {
+			return ts, err
+		}
+	}
 	return ts, nil
 }
 

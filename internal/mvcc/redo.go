@@ -1,0 +1,28 @@
+package mvcc
+
+import "tierdb/internal/value"
+
+// RedoOp is one logical write captured for the write-ahead log: enough
+// to re-apply the effect of a committed transaction on restart. Deletes
+// carry the full row content rather than a RowID because row ids are
+// positional and do not survive a merge; replay removes the first
+// committed-live row with identical content, which is multiset-correct.
+type RedoOp struct {
+	// Table names the table the op applies to.
+	Table string
+	// Delete distinguishes a row deletion from an insertion.
+	Delete bool
+	// Row is the full tuple inserted or deleted.
+	Row []value.Value
+}
+
+// Durability is the write-ahead log surface the transaction manager
+// drives. Implementations must make the ops durable (per the configured
+// sync policy) before returning; alloc is called exactly once, inside
+// the log's append critical section, so log order matches commit
+// timestamp order.
+type Durability interface {
+	// AppendCommit logs one transaction's redo ops under the timestamp
+	// returned by alloc and returns that timestamp.
+	AppendCommit(alloc func() Timestamp, ops []RedoOp) (Timestamp, error)
+}

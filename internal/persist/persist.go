@@ -5,6 +5,13 @@
 // smaller DRAM footprints is reduced recovery times — after a restart
 // only the MRC share of a snapshot must be decoded back into DRAM
 // structures, while SSCG pages rebuild on cheap secondary storage.
+//
+// Format versions: TIERDB01 snapshots are standalone (rows restore as
+// a fresh bulk load). TIERDB02 adds the snapshot timestamp right after
+// the magic, which makes snapshots self-describing for write-ahead-log
+// recovery: restored rows keep their visibility point and replay can
+// skip any logged operation the snapshot already covers. Load reads
+// both; Save writes TIERDB02.
 package persist
 
 import (
@@ -15,25 +22,49 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"tierdb/internal/delta"
+	"tierdb/internal/mvcc"
 	"tierdb/internal/schema"
 	"tierdb/internal/table"
 	"tierdb/internal/value"
 )
 
-// magic identifies snapshot files; the trailing digits version the
-// format.
-var magic = []byte("TIERDB01")
+// Snapshot magics; the trailing digits version the format.
+var (
+	magicV1 = []byte("TIERDB01")
+	magicV2 = []byte("TIERDB02")
+)
 
-// ErrBadSnapshot is returned for corrupt or foreign files.
+// ErrBadSnapshot is returned for corrupt, truncated or foreign files.
 var ErrBadSnapshot = errors.New("persist: not a tierdb snapshot")
 
-// Save writes a snapshot of the table's visible rows at the latest
-// commit, together with schema, layout and index definitions.
+// bad wraps a low-level decode error (unexpected EOF, short read) as
+// ErrBadSnapshot so callers can classify corruption with errors.Is.
+func bad(err error) error {
+	if err == nil || errors.Is(err, ErrBadSnapshot) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+}
+
+// Save writes a TIERDB02 snapshot of the table's rows visible at the
+// latest commit.
 func Save(w io.Writer, tbl *table.Table) error {
+	return SaveAt(w, tbl, tbl.Manager().LastCommit())
+}
+
+// SaveAt writes a TIERDB02 snapshot of the rows visible at the given
+// commit timestamp. Checkpoints pass a quiesced timestamp (see
+// mvcc.Manager.QuiescedLastCommit) so the snapshot is exact: every
+// commit at or below it is included, none above it.
+func SaveAt(w io.Writer, tbl *table.Table, snapshot mvcc.Timestamp) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic); err != nil {
+	if _, err := bw.Write(magicV2); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, snapshot); err != nil {
 		return err
 	}
 	if err := writeString(bw, tbl.Name()); err != nil {
@@ -98,10 +129,8 @@ func Save(w io.Writer, tbl *table.Table) error {
 
 	// Rows: visible main-partition rows, then visible delta rows (the
 	// frozen partition of an in-flight merge first, matching RowID
-	// order). The snapshot timestamp is taken before the structural pin
-	// so every row visible at the snapshot physically exists within the
-	// view's bounds.
-	snapshot := tbl.Manager().LastCommit()
+	// order). Every row visible at the snapshot physically exists within
+	// the view's bounds.
 	v := tbl.Pin()
 	defer v.Release()
 	var rows [][]value.Value
@@ -152,125 +181,184 @@ func Save(w io.Writer, tbl *table.Table) error {
 // Load restores a snapshot into a fresh table using the given storage
 // options, reapplying the saved layout and rebuilding indexes.
 func Load(r io.Reader, opts table.Options) (*table.Table, error) {
+	tbl, _, err := LoadAt(r, opts)
+	return tbl, err
+}
+
+// LoadAt is Load returning the snapshot timestamp as well: 0 for a
+// TIERDB01 snapshot (standalone bulk load), the embedded quiesced
+// timestamp for TIERDB02. For a v2 snapshot the restored rows are
+// visible from exactly that timestamp and the table's transaction
+// manager is advanced to it, so log replay can skip every operation
+// with a timestamp at or below it.
+func LoadAt(r io.Reader, opts table.Options) (*table.Table, mvcc.Timestamp, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
+	head := make([]byte, len(magicV2))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		return nil, 0, bad(err)
 	}
-	if string(head) != string(magic) {
-		return nil, ErrBadSnapshot
+	var snapshot mvcc.Timestamp
+	switch string(head) {
+	case string(magicV1):
+		// Standalone snapshot: rows restore as a fresh bulk load.
+	case string(magicV2):
+		ts, err := readUvarint(br)
+		if err != nil {
+			return nil, 0, bad(err)
+		}
+		if ts == math.MaxUint64 {
+			return nil, 0, fmt.Errorf("%w: snapshot timestamp %d", ErrBadSnapshot, ts)
+		}
+		snapshot = ts
+	default:
+		return nil, 0, ErrBadSnapshot
 	}
 	name, err := readString(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, bad(err)
 	}
 	nFields, err := readUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, bad(err)
 	}
-	fields := make([]schema.Field, nFields)
-	for i := range fields {
+	if nFields == 0 || nFields > maxFields {
+		return nil, 0, fmt.Errorf("%w: %d fields", ErrBadSnapshot, nFields)
+	}
+	fields := make([]schema.Field, 0, nFields)
+	for i := 0; i < int(nFields); i++ {
 		fname, err := readString(br)
 		if err != nil {
-			return nil, err
+			return nil, 0, bad(err)
 		}
 		typ, err := br.ReadByte()
 		if err != nil {
-			return nil, err
+			return nil, 0, bad(err)
+		}
+		if value.Type(typ) > value.String {
+			return nil, 0, fmt.Errorf("%w: field type %d", ErrBadSnapshot, typ)
 		}
 		width, err := readUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, 0, bad(err)
 		}
-		fields[i] = schema.Field{Name: fname, Type: value.Type(typ), Width: int(width)}
+		if width > maxStringLen {
+			return nil, 0, fmt.Errorf("%w: field width %d", ErrBadSnapshot, width)
+		}
+		fields = append(fields, schema.Field{Name: fname, Type: value.Type(typ), Width: int(width)})
 	}
 	s, err := schema.New(fields)
 	if err != nil {
-		return nil, fmt.Errorf("persist: snapshot schema: %w", err)
+		return nil, 0, fmt.Errorf("%w: schema: %v", ErrBadSnapshot, err)
 	}
 	layout := make([]bool, nFields)
 	for i := range layout {
 		b, err := br.ReadByte()
 		if err != nil {
-			return nil, err
+			return nil, 0, bad(err)
+		}
+		if b > 1 {
+			return nil, 0, fmt.Errorf("%w: layout byte %d", ErrBadSnapshot, b)
 		}
 		layout[i] = b == 1
 	}
 
+	readCols := func(n uint64) ([]int, error) {
+		if n > nFields {
+			return nil, fmt.Errorf("%w: %d index columns over %d fields", ErrBadSnapshot, n, nFields)
+		}
+		cols := make([]int, 0, n)
+		for i := 0; i < int(n); i++ {
+			c, err := readUvarint(br)
+			if err != nil {
+				return nil, bad(err)
+			}
+			if c >= nFields {
+				return nil, fmt.Errorf("%w: index column %d out of range", ErrBadSnapshot, c)
+			}
+			cols = append(cols, int(c))
+		}
+		return cols, nil
+	}
 	nSingles, err := readUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, bad(err)
 	}
-	singles := make([]int, nSingles)
-	for i := range singles {
-		c, err := readUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		singles[i] = int(c)
+	singles, err := readCols(nSingles)
+	if err != nil {
+		return nil, 0, err
 	}
 	nComposites, err := readUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, bad(err)
 	}
-	composites := make([][]int, nComposites)
-	for i := range composites {
+	if nComposites > maxFields {
+		return nil, 0, fmt.Errorf("%w: %d composite indexes", ErrBadSnapshot, nComposites)
+	}
+	composites := make([][]int, 0, nComposites)
+	for i := 0; i < int(nComposites); i++ {
 		n, err := readUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, 0, bad(err)
 		}
-		cols := make([]int, n)
-		for j := range cols {
-			c, err := readUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			cols[j] = int(c)
+		cols, err := readCols(n)
+		if err != nil {
+			return nil, 0, err
 		}
-		composites[i] = cols
+		composites = append(composites, cols)
 	}
 
 	nRows, err := readUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, bad(err)
 	}
-	rows := make([][]value.Value, nRows)
-	for r := range rows {
-		row := make([]value.Value, nFields)
+	// Grow incrementally instead of trusting the row count: a corrupt
+	// count then fails on EOF after allocating only what the input
+	// actually backs.
+	rows := make([][]value.Value, 0, min(nRows, 4096))
+	for r := 0; r < int(nRows); r++ {
+		row := make([]value.Value, len(fields))
 		for c := range row {
 			v, err := readValue(br, fields[c].Type)
 			if err != nil {
-				return nil, fmt.Errorf("persist: row %d field %d: %w", r, c, err)
+				return nil, 0, fmt.Errorf("%w: row %d field %d: %v", ErrBadSnapshot, r, c, err)
 			}
 			row[c] = v
 		}
-		rows[r] = row
+		rows = append(rows, row)
 	}
 
 	tbl, err := table.New(name, s, opts)
 	if err != nil {
-		return nil, err
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	if err := tbl.BulkAppend(rows); err != nil {
-		return nil, err
+	if snapshot > 0 {
+		tbl.Manager().AdvanceTo(snapshot)
+		if err := tbl.BulkAppendAt(rows, snapshot); err != nil {
+			return nil, 0, err
+		}
+	} else if err := tbl.BulkAppend(rows); err != nil {
+		return nil, 0, err
 	}
 	if err := tbl.ApplyLayout(layout); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for _, c := range singles {
 		if err := tbl.CreateIndex(c); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	for _, cols := range composites {
 		if err := tbl.CreateCompositeIndex(cols); err != nil {
-			return nil, err
+			return nil, 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 		}
 	}
-	return tbl, nil
+	return tbl, snapshot, nil
 }
 
-// SaveFile snapshots to a file (atomically via a temp file + rename).
+// SaveFile snapshots to a file, atomically and durably: temp file,
+// fsync, rename, then fsync of the parent directory — without the two
+// fsyncs a snapshot could be silently empty (or the rename lost) after
+// a power failure despite the temp+rename dance.
 func SaveFile(path string, tbl *table.Table) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -282,11 +370,33 @@ func SaveFile(path string, tbl *table.Table) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory to make a completed rename durable; some
+// filesystems reject directory fsync, which is not fatal there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
 }
 
 // LoadFile restores a snapshot file.
@@ -300,6 +410,14 @@ func LoadFile(path string, opts table.Options) (*table.Table, error) {
 }
 
 // --- primitive encoding ----------------------------------------------------
+
+// Decode bounds: a snapshot cannot plausibly exceed these, and bounding
+// them keeps corrupt uvarints from driving huge allocations.
+const (
+	maxFields    = 1 << 16
+	maxStringLen = 1 << 24
+	readChunk    = 1 << 16
+)
 
 func writeUvarint(w *bufio.Writer, v uint64) error {
 	var buf [binary.MaxVarintLen64]byte
@@ -325,12 +443,19 @@ func readString(r *bufio.Reader) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<24 {
+	if n > maxStringLen {
 		return "", fmt.Errorf("persist: string length %d implausible", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+	// Read in bounded chunks so a lying length allocates no more than
+	// one chunk beyond what the input actually contains.
+	buf := make([]byte, 0, min(n, readChunk))
+	for uint64(len(buf)) < n {
+		chunk := min(n-uint64(len(buf)), readChunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return "", err
+		}
 	}
 	return string(buf), nil
 }

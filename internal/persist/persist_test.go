@@ -12,7 +12,7 @@ import (
 	"tierdb/internal/value"
 )
 
-func buildTable(t *testing.T, rows int) *table.Table {
+func buildTable(t testing.TB, rows int) *table.Table {
 	t.Helper()
 	s := schema.MustNew([]schema.Field{
 		{Name: "id", Type: value.Int64},

@@ -1,0 +1,112 @@
+package table
+
+import (
+	"testing"
+
+	"tierdb/internal/mvcc"
+	"tierdb/internal/schema"
+	"tierdb/internal/value"
+)
+
+func replayTestTable(t *testing.T) (*Table, *mvcc.Manager) {
+	t.Helper()
+	s := schema.MustNew([]schema.Field{
+		{Name: "id", Type: value.Int64},
+		{Name: "tag", Type: value.String, Width: 8},
+	})
+	mgr := mvcc.NewManager()
+	tbl, err := New("t", s, Options{Manager: mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, mgr
+}
+
+func replayRow(id int64, tag string) []value.Value {
+	return []value.Value{value.NewInt(id), value.NewString(tag)}
+}
+
+func TestBulkAppendAtVisibility(t *testing.T) {
+	tbl, mgr := replayTestTable(t)
+	if err := tbl.BulkAppendAt([][]value.Value{replayRow(1, "a"), replayRow(2, "b")}, 5); err != nil {
+		t.Fatal(err)
+	}
+	vers := tbl.Delta().Versions()
+	if n := vers.LiveAt(4); n != 0 {
+		t.Fatalf("rows visible before their commit ts: %d", n)
+	}
+	if n := vers.LiveAt(5); n != 2 {
+		t.Fatalf("rows at ts 5: %d, want 2", n)
+	}
+	mgr.AdvanceTo(5)
+	if n := tbl.VisibleCount(); n != 2 {
+		t.Fatalf("visible count %d, want 2", n)
+	}
+}
+
+func TestReplayInsertDeleteAcrossMerge(t *testing.T) {
+	tbl, mgr := replayTestTable(t)
+	if err := tbl.ReplayInsert(replayRow(1, "a"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.ReplayInsert(replayRow(2, "b"), 3); err != nil {
+		t.Fatal(err)
+	}
+	mgr.AdvanceTo(3)
+	// Merge moves the rows into the main partition: positions change,
+	// but content-addressed delete replay must still find row 1.
+	if err := tbl.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.ReplayInsert(replayRow(3, "c"), 4); err != nil {
+		t.Fatal(err)
+	}
+	mgr.AdvanceTo(4)
+	if err := tbl.ReplayDelete(replayRow(1, "a"), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.ReplayDelete(replayRow(3, "c"), 6); err != nil {
+		t.Fatal(err)
+	}
+	mgr.AdvanceTo(6)
+	if n := tbl.VisibleCount(); n != 1 {
+		t.Fatalf("visible count after replayed deletes: %d, want 1", n)
+	}
+	// The survivor is row 2.
+	found := false
+	for id := RowID(0); id < RowID(tbl.MainRows()+tbl.DeltaRows()); id++ {
+		if tbl.Visible(id, 6, 0) {
+			tuple, err := tbl.GetTuple(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rowsEqual(tuple, replayRow(2, "b")) {
+				t.Fatalf("survivor = %v, want row 2", tuple)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no visible row found")
+	}
+	// Deleting a row that no longer exists is a replay error.
+	if err := tbl.ReplayDelete(replayRow(1, "a"), 7); err == nil {
+		t.Fatal("replaying a delete with no matching live row must fail")
+	}
+}
+
+func TestReplayDeleteDuplicateContent(t *testing.T) {
+	tbl, mgr := replayTestTable(t)
+	// Two identical rows: deleting one must leave exactly one live.
+	if err := tbl.BulkAppendAt([][]value.Value{replayRow(7, "x"), replayRow(7, "x")}, 2); err != nil {
+		t.Fatal(err)
+	}
+	mgr.AdvanceTo(2)
+	if err := tbl.ReplayDelete(replayRow(7, "x"), 3); err != nil {
+		t.Fatal(err)
+	}
+	mgr.AdvanceTo(3)
+	if n := tbl.VisibleCount(); n != 1 {
+		t.Fatalf("visible count %d, want 1 (multiset delete)", n)
+	}
+}

@@ -1,0 +1,287 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// RecoverMode selects how much un-synced data "survives" a simulated
+// crash. A real disk may persist any prefix of the writes issued after
+// the last fsync, so the harness sweeps all three adversarial choices.
+type RecoverMode int
+
+const (
+	// RecoverDropUnsynced keeps only explicitly synced bytes and
+	// dir-synced namespace operations — the most lossy legal outcome.
+	RecoverDropUnsynced RecoverMode = iota
+	// RecoverKeepUnsynced keeps everything written, synced or not — the
+	// least lossy outcome (the OS flushed right before the crash).
+	RecoverKeepUnsynced
+	// RecoverTornTail keeps the durable namespace but only half of each
+	// file's un-synced tail, tearing the stream mid-record.
+	RecoverTornTail
+)
+
+func (m RecoverMode) String() string {
+	switch m {
+	case RecoverDropUnsynced:
+		return "drop-unsynced"
+	case RecoverKeepUnsynced:
+		return "keep-unsynced"
+	case RecoverTornTail:
+		return "torn-tail"
+	}
+	return fmt.Sprintf("mode-%d", int(m))
+}
+
+// RecoverModes lists every recovery mode the harness sweeps.
+func RecoverModes() []RecoverMode {
+	return []RecoverMode{RecoverDropUnsynced, RecoverKeepUnsynced, RecoverTornTail}
+}
+
+// inode is one file's content. synced is the explicit durability
+// watermark: bytes beyond it were written but never fsynced.
+type inode struct {
+	data   []byte
+	synced int
+}
+
+// CrashFS is a deterministic in-memory filesystem with crash
+// injection: the crashAt'th mutating operation (write, sync, create,
+// rename, remove, truncate, dir-sync) fails with ErrCrashed — a
+// crashing write first applies half its buffer, tearing the stream at
+// a byte boundary — and every operation after it fails too, modeling a
+// process whose view of the disk has died. Recover derives the disk
+// state a restarted process would observe.
+//
+// Namespace semantics follow POSIX: creates, renames and removes are
+// volatile until SyncDir; file bytes are volatile until File.Sync.
+// With no crash configured (NewMemFS) it is just a fast, deterministic
+// in-memory FS.
+type CrashFS struct {
+	mu      sync.Mutex
+	files   map[string]*inode // volatile namespace
+	durable map[string]*inode // namespace as of the last SyncDir
+	ops     int
+	crashAt int // 1-based mutating-op number that fails; 0 disables
+	crashed bool
+}
+
+// NewMemFS returns an in-memory FS with crash injection disabled.
+func NewMemFS() *CrashFS { return NewCrashFS(0) }
+
+// NewCrashFS returns an FS whose crashAt'th mutating operation (and
+// everything after it) fails with ErrCrashed; 0 disables injection.
+func NewCrashFS(crashAt int) *CrashFS {
+	return &CrashFS{
+		files:   make(map[string]*inode),
+		durable: make(map[string]*inode),
+		crashAt: crashAt,
+	}
+}
+
+// Ops returns how many mutating operations have been attempted. A
+// probe run with injection disabled uses it as the sweep bound.
+func (c *CrashFS) Ops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Crashed reports whether the injected crash point has been reached.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// step accounts one mutating operation; callers hold c.mu. It returns
+// ErrCrashed when the operation must fail, flipping the FS into the
+// crashed state on the injected op.
+func (c *CrashFS) step() error {
+	if c.crashed {
+		return ErrCrashed
+	}
+	c.ops++
+	if c.crashAt > 0 && c.ops >= c.crashAt {
+		c.crashed = true
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Recover returns the filesystem a restarted process would see after
+// the crash, under the given survival mode. The returned FS is an
+// independent deep copy with crash injection disabled; pass a crashAt
+// to inject a second crash during recovery itself.
+func (c *CrashFS) Recover(mode RecoverMode, crashAt int) *CrashFS {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	src := c.durable
+	if mode == RecoverKeepUnsynced {
+		src = c.files
+	}
+	out := NewCrashFS(crashAt)
+	for path, ino := range src {
+		keep := ino.synced
+		switch mode {
+		case RecoverKeepUnsynced:
+			keep = len(ino.data)
+		case RecoverTornTail:
+			keep = ino.synced + (len(ino.data)-ino.synced)/2
+		}
+		copied := &inode{data: append([]byte(nil), ino.data[:keep]...), synced: keep}
+		out.files[path] = copied
+		out.durable[path] = copied
+	}
+	return out
+}
+
+func (c *CrashFS) MkdirAll(string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (c *CrashFS) Create(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.step(); err != nil {
+		return nil, err
+	}
+	ino := &inode{}
+	c.files[name] = ino
+	return &crashFile{fs: c, ino: ino}, nil
+}
+
+func (c *CrashFS) Open(name string) (io.ReadCloser, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	ino, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("crashfs: open %s: %w", name, os.ErrNotExist)
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), ino.data...))), nil
+}
+
+func (c *CrashFS) ReadDir(dir string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for path := range c.files {
+		if strings.HasPrefix(path, prefix) && !strings.Contains(path[len(prefix):], "/") {
+			names = append(names, path[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (c *CrashFS) Rename(oldPath, newPath string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.step(); err != nil {
+		return err
+	}
+	ino, ok := c.files[oldPath]
+	if !ok {
+		return fmt.Errorf("crashfs: rename %s: %w", oldPath, os.ErrNotExist)
+	}
+	delete(c.files, oldPath)
+	c.files[newPath] = ino
+	return nil
+}
+
+func (c *CrashFS) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.step(); err != nil {
+		return err
+	}
+	if _, ok := c.files[name]; !ok {
+		return fmt.Errorf("crashfs: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(c.files, name)
+	return nil
+}
+
+func (c *CrashFS) Truncate(name string, size int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.step(); err != nil {
+		return err
+	}
+	ino, ok := c.files[name]
+	if !ok {
+		return fmt.Errorf("crashfs: truncate %s: %w", name, os.ErrNotExist)
+	}
+	if int(size) < len(ino.data) {
+		ino.data = ino.data[:size]
+	}
+	if ino.synced > len(ino.data) {
+		ino.synced = len(ino.data)
+	}
+	return nil
+}
+
+func (c *CrashFS) SyncDir(string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.step(); err != nil {
+		return err
+	}
+	durable := make(map[string]*inode, len(c.files))
+	for path, ino := range c.files {
+		durable[path] = ino
+	}
+	c.durable = durable
+	return nil
+}
+
+// crashFile is a writable handle on a CrashFS inode.
+type crashFile struct {
+	fs  *CrashFS
+	ino *inode
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.fs.step(); err != nil {
+		if f.fs.ops == f.fs.crashAt {
+			// The crashing write tears: half the buffer reaches the disk
+			// image before the failure, cutting the stream mid-record.
+			f.ino.data = append(f.ino.data, p[:len(p)/2]...)
+		}
+		return 0, err
+	}
+	f.ino.data = append(f.ino.data, p...)
+	return len(p), nil
+}
+
+func (f *crashFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.fs.step(); err != nil {
+		return err
+	}
+	f.ino.synced = len(f.ino.data)
+	return nil
+}
+
+func (f *crashFile) Close() error { return nil }

@@ -1,0 +1,387 @@
+// WAL record codec. Every record is framed as
+//
+//	uvarint(payload length) | crc32c(payload), 4 bytes LE | payload
+//
+// and the payload starts with a one-byte kind. Values are
+// self-describing (type byte, then 8 fixed bytes for numerics or a
+// uvarint-length string), consistent with persist's uvarint encoding.
+// The decoder works on a fully read segment and never trusts a length
+// it cannot verify against the remaining input, so corrupt or torn
+// input yields an error — never a panic or an unbounded allocation.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"tierdb/internal/mvcc"
+	"tierdb/internal/schema"
+	"tierdb/internal/value"
+)
+
+// Record kinds. A transaction commits as ONE atomic record carrying all
+// of its redo ops: a torn tail can only drop whole transactions, which
+// makes prefix consistency structural rather than something recovery
+// has to reconstruct from interleaved per-op records.
+const (
+	kindCommit          = 1 // ts, ops[]
+	kindCreateTable     = 2 // name, fields[]
+	kindLayout          = 3 // name, per-column DRAM residency
+	kindIndex           = 4 // name, key columns (len 1 = single-column)
+	kindCheckpointEnd   = 5 // ts: snapshots ≤ ts are durable, log truncated
+	kindCheckpointBegin = 6 // ts: a checkpoint at ts started (diagnostic)
+)
+
+// ErrBadRecord reports a record that is structurally invalid even
+// though its CRC matched — only possible via an encoder bug or a
+// deliberately corrupted log, so replay fails loudly instead of
+// silently skipping it.
+var ErrBadRecord = errors.New("wal: malformed record")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is the decoded form of any WAL record; which fields are
+// meaningful depends on Kind.
+type Record struct {
+	Kind   uint8
+	Ts     uint64        // kindCommit, kindCheckpoint{Begin,End}
+	Ops    []mvcc.RedoOp // kindCommit
+	Table  string        // DDL kinds
+	Fields []schema.Field
+	Layout []bool
+	Cols   []int
+}
+
+// appendUvarint appends x in unsigned varint encoding.
+func appendUvarint(buf []byte, x uint64) []byte {
+	return binary.AppendUvarint(buf, x)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendValue(buf []byte, v value.Value) []byte {
+	buf = append(buf, byte(v.Type()))
+	switch v.Type() {
+	case value.Int64:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Int()))
+	case value.Float64:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float()))
+	default:
+		buf = appendString(buf, v.Str())
+	}
+	return buf
+}
+
+// encodePayload appends the record's payload (kind byte included).
+func encodePayload(buf []byte, rec Record) []byte {
+	buf = append(buf, rec.Kind)
+	switch rec.Kind {
+	case kindCommit:
+		buf = appendUvarint(buf, rec.Ts)
+		buf = appendUvarint(buf, uint64(len(rec.Ops)))
+		for _, op := range rec.Ops {
+			kind := byte(0)
+			if op.Delete {
+				kind = 1
+			}
+			buf = append(buf, kind)
+			buf = appendString(buf, op.Table)
+			buf = appendUvarint(buf, uint64(len(op.Row)))
+			for _, v := range op.Row {
+				buf = appendValue(buf, v)
+			}
+		}
+	case kindCreateTable:
+		buf = appendString(buf, rec.Table)
+		buf = appendUvarint(buf, uint64(len(rec.Fields)))
+		for _, f := range rec.Fields {
+			buf = appendString(buf, f.Name)
+			buf = append(buf, byte(f.Type))
+			buf = appendUvarint(buf, uint64(f.Width))
+		}
+	case kindLayout:
+		buf = appendString(buf, rec.Table)
+		buf = appendUvarint(buf, uint64(len(rec.Layout)))
+		for _, inDRAM := range rec.Layout {
+			b := byte(0)
+			if inDRAM {
+				b = 1
+			}
+			buf = append(buf, b)
+		}
+	case kindIndex:
+		buf = appendString(buf, rec.Table)
+		buf = appendUvarint(buf, uint64(len(rec.Cols)))
+		for _, c := range rec.Cols {
+			buf = appendUvarint(buf, uint64(c))
+		}
+	case kindCheckpointEnd, kindCheckpointBegin:
+		buf = appendUvarint(buf, rec.Ts)
+	}
+	return buf
+}
+
+// appendFrame frames payload into buf: length, CRC, payload.
+func appendFrame(buf, payload []byte) []byte {
+	buf = appendUvarint(buf, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	return append(buf, payload...)
+}
+
+// reader is a bounds-checked cursor over a decoded payload.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.pos }
+
+func (r *reader) byte() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, ErrBadRecord
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrBadRecord
+	}
+	r.pos += n
+	return x, nil
+}
+
+// count reads a uvarint element count and rejects it when even at
+// min bytes per element it cannot fit in the remaining payload — the
+// bound that keeps corrupt counts from driving huge allocations.
+func (r *reader) count(minBytesPerElem int) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(r.remaining()/minBytesPerElem) {
+		return 0, ErrBadRecord
+	}
+	return int(n), nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, ErrBadRecord
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remaining()) {
+		return "", ErrBadRecord
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) value() (value.Value, error) {
+	t, err := r.byte()
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch value.Type(t) {
+	case value.Int64:
+		b, err := r.bytes(8)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewInt(int64(binary.LittleEndian.Uint64(b))), nil
+	case value.Float64:
+		b, err := r.bytes(8)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case value.String:
+		s, err := r.string()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewString(s), nil
+	}
+	return value.Value{}, ErrBadRecord
+}
+
+// decodePayload decodes one record payload (as framed: kind byte first).
+func decodePayload(payload []byte) (Record, error) {
+	r := &reader{buf: payload}
+	kind, err := r.byte()
+	if err != nil {
+		return Record{}, err
+	}
+	rec := Record{Kind: kind}
+	switch kind {
+	case kindCommit:
+		if rec.Ts, err = r.uvarint(); err != nil {
+			return Record{}, err
+		}
+		nOps, err := r.count(3) // op kind + empty name + empty row
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Ops = make([]mvcc.RedoOp, 0, nOps)
+		for i := 0; i < nOps; i++ {
+			var op mvcc.RedoOp
+			k, err := r.byte()
+			if err != nil {
+				return Record{}, err
+			}
+			if k > 1 {
+				return Record{}, ErrBadRecord
+			}
+			op.Delete = k == 1
+			if op.Table, err = r.string(); err != nil {
+				return Record{}, err
+			}
+			nVals, err := r.count(1)
+			if err != nil {
+				return Record{}, err
+			}
+			op.Row = make([]value.Value, 0, nVals)
+			for j := 0; j < nVals; j++ {
+				v, err := r.value()
+				if err != nil {
+					return Record{}, err
+				}
+				op.Row = append(op.Row, v)
+			}
+			rec.Ops = append(rec.Ops, op)
+		}
+	case kindCreateTable:
+		if rec.Table, err = r.string(); err != nil {
+			return Record{}, err
+		}
+		nFields, err := r.count(3) // empty name + type + width
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Fields = make([]schema.Field, 0, nFields)
+		for i := 0; i < nFields; i++ {
+			var f schema.Field
+			if f.Name, err = r.string(); err != nil {
+				return Record{}, err
+			}
+			t, err := r.byte()
+			if err != nil {
+				return Record{}, err
+			}
+			if value.Type(t) > value.String {
+				return Record{}, ErrBadRecord
+			}
+			f.Type = value.Type(t)
+			w, err := r.uvarint()
+			if err != nil {
+				return Record{}, err
+			}
+			if w > 1<<24 {
+				return Record{}, ErrBadRecord
+			}
+			f.Width = int(w)
+			rec.Fields = append(rec.Fields, f)
+		}
+	case kindLayout:
+		if rec.Table, err = r.string(); err != nil {
+			return Record{}, err
+		}
+		n, err := r.count(1)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Layout = make([]bool, 0, n)
+		for i := 0; i < n; i++ {
+			b, err := r.byte()
+			if err != nil {
+				return Record{}, err
+			}
+			if b > 1 {
+				return Record{}, ErrBadRecord
+			}
+			rec.Layout = append(rec.Layout, b == 1)
+		}
+	case kindIndex:
+		if rec.Table, err = r.string(); err != nil {
+			return Record{}, err
+		}
+		n, err := r.count(1)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Cols = make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			c, err := r.uvarint()
+			if err != nil {
+				return Record{}, err
+			}
+			if c > 1<<20 {
+				return Record{}, ErrBadRecord
+			}
+			rec.Cols = append(rec.Cols, int(c))
+		}
+	case kindCheckpointEnd, kindCheckpointBegin:
+		if rec.Ts, err = r.uvarint(); err != nil {
+			return Record{}, err
+		}
+	default:
+		return Record{}, fmt.Errorf("%w: unknown kind %d", ErrBadRecord, kind)
+	}
+	if r.remaining() != 0 {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, r.remaining())
+	}
+	return rec, nil
+}
+
+// decodeSegment decodes every complete, CRC-valid record in data.
+// A frame that runs past the end of data or fails its CRC is treated
+// as the torn tail: decoding stops and the byte offset of the torn
+// frame is returned (tornAt == len(data) means the segment is clean).
+// A record that is CRC-valid but structurally malformed is real
+// corruption, not a tear, and fails the whole decode.
+func decodeSegment(data []byte) (recs []Record, tornAt int, err error) {
+	pos := 0
+	for pos < len(data) {
+		plen, n := binary.Uvarint(data[pos:])
+		if n <= 0 || plen > uint64(len(data)-pos-n) {
+			return recs, pos, nil // torn length prefix
+		}
+		hdr := pos + n
+		if len(data)-hdr < 4 || plen > uint64(len(data)-hdr-4) {
+			return recs, pos, nil // torn before/inside CRC or payload
+		}
+		crc := binary.LittleEndian.Uint32(data[hdr:])
+		payload := data[hdr+4 : hdr+4+int(plen)]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return recs, pos, nil // torn payload
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return nil, pos, err
+		}
+		recs = append(recs, rec)
+		pos = hdr + 4 + int(plen)
+	}
+	return recs, pos, nil
+}

@@ -188,7 +188,13 @@ func (t *Table) RecommendLayout(opts PlacementOptions) (Layout, error) {
 // ApplyLayout re-tiers the table's main partition to the recommendation
 // (a merge pass; the paper schedules this in maintenance windows).
 func (t *Table) ApplyLayout(l Layout) error {
-	return t.inner.ApplyLayout(l.InDRAM)
+	if err := t.inner.ApplyLayout(l.InDRAM); err != nil {
+		return err
+	}
+	if t.db.wal != nil {
+		return t.db.wal.AppendLayout(t.Name(), l.InDRAM)
+	}
+	return nil
 }
 
 // Frontier sweeps relative budgets and returns the efficient frontier

@@ -107,10 +107,20 @@ func (s *mergeScheduler) due(t *Table) bool {
 // merge folds one table's delta. A concurrent manual merge is fine
 // (ErrMergeInProgress); real failures are already counted by the
 // table's merge.failures instrument and will be retried on the next
-// sweep, which resumes from the still-frozen delta.
+// sweep, which resumes from the still-frozen delta. After a successful
+// scheduled merge the database checkpoints: the merged state lands in
+// durable snapshots and the write-ahead log truncates, so recovery
+// replays only the tail written since — the paper's tiered layouts keep
+// that snapshot-decode cost proportional to the MRC share.
 func (s *mergeScheduler) merge(t *Table) {
-	if err := t.inner.Merge(); err != nil && !errors.Is(err, table.ErrMergeInProgress) {
-		_ = err
+	if err := t.inner.Merge(); err != nil {
+		_ = errors.Is(err, table.ErrMergeInProgress) // retried next sweep
+		return
+	}
+	if s.db.wal != nil {
+		// A failed checkpoint leaves the previous one intact; the log
+		// simply stays longer until the next scheduled merge retries.
+		_ = s.db.Checkpoint()
 	}
 }
 

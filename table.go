@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tierdb/internal/exec"
+	"tierdb/internal/mvcc"
 	"tierdb/internal/table"
 	"tierdb/internal/value"
 	"tierdb/internal/workload"
@@ -50,9 +51,23 @@ func (t *Table) Columns() []Field { return t.inner.Schema().Fields() }
 func (t *Table) Rows() int { return t.inner.VisibleCount() }
 
 // BulkLoad appends rows outside any transaction and merges them into
-// the main partition under the current layout.
+// the main partition under the current layout. With a WAL configured
+// the whole batch is one atomic, durable commit record.
 func (t *Table) BulkLoad(rows [][]Value) error {
-	if err := t.inner.BulkAppend(rows); err != nil {
+	if t.db.wal == nil || len(rows) == 0 {
+		if err := t.inner.BulkAppend(rows); err != nil {
+			return err
+		}
+		return t.inner.Merge()
+	}
+	ops := make([]mvcc.RedoOp, len(rows))
+	for i, r := range rows {
+		ops[i] = mvcc.RedoOp{Table: t.Name(), Row: r}
+	}
+	_, err := t.db.mgr.BulkCommit(ops, func(ts mvcc.Timestamp) error {
+		return t.inner.BulkAppendAt(rows, ts)
+	})
+	if err != nil {
 		return err
 	}
 	return t.inner.Merge()
@@ -61,7 +76,7 @@ func (t *Table) BulkLoad(rows [][]Value) error {
 // Insert appends one row in its own transaction.
 func (t *Table) Insert(row []Value) error {
 	tx := t.db.Begin()
-	if err := t.inner.Insert(tx, row); err != nil {
+	if err := t.InsertTx(tx, row); err != nil {
 		if aerr := t.db.Abort(tx); aerr != nil {
 			return fmt.Errorf("%w (abort failed: %v)", err, aerr)
 		}
@@ -72,16 +87,43 @@ func (t *Table) Insert(row []Value) error {
 
 // InsertTx appends one row within an existing transaction.
 func (t *Table) InsertTx(tx *Tx, row []Value) error {
-	return t.inner.Insert(tx, row)
+	if err := t.inner.Insert(tx, row); err != nil {
+		return err
+	}
+	if t.db.wal != nil {
+		tx.LogRedo(mvcc.RedoOp{Table: t.Name(), Row: append([]Value(nil), row...)})
+	}
+	return nil
 }
 
 // Delete removes a row within a transaction.
-func (t *Table) Delete(tx *Tx, id RowID) error { return t.inner.Delete(tx, id) }
+func (t *Table) Delete(tx *Tx, id RowID) error {
+	if t.db.wal == nil {
+		return t.inner.Delete(tx, id)
+	}
+	// Redo records are content-addressed (row ids do not survive a
+	// merge), so capture the tuple before delete hides it from tx.
+	tuple, err := t.inner.GetTuple(id)
+	if err != nil {
+		return err
+	}
+	if err := t.inner.Delete(tx, id); err != nil {
+		return err
+	}
+	tx.LogRedo(mvcc.RedoOp{Table: t.Name(), Delete: true, Row: tuple})
+	return nil
+}
 
 // Update replaces a row within a transaction (insert-only: delete +
 // insert).
 func (t *Table) Update(tx *Tx, id RowID, row []Value) error {
-	return t.inner.Update(tx, id, row)
+	if t.db.wal == nil {
+		return t.inner.Update(tx, id, row)
+	}
+	if err := t.Delete(tx, id); err != nil {
+		return err
+	}
+	return t.InsertTx(tx, row)
 }
 
 // SelectResult carries qualifying row ids and projected rows.
@@ -166,7 +208,13 @@ func (t *Table) CreateIndex(column string) error {
 	if c < 0 {
 		return fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), column)
 	}
-	return t.inner.CreateIndex(c)
+	if err := t.inner.CreateIndex(c); err != nil {
+		return err
+	}
+	if t.db.wal != nil {
+		return t.db.wal.AppendIndex(t.Name(), []int{c})
+	}
+	return nil
 }
 
 // Merge folds the delta partition into the main partition under the

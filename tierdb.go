@@ -40,6 +40,7 @@ import (
 	"tierdb/internal/storage"
 	"tierdb/internal/table"
 	"tierdb/internal/value"
+	"tierdb/internal/wal"
 )
 
 // Re-exported building blocks of the storage layer.
@@ -131,6 +132,25 @@ type Config struct {
 	// still works but /traces 404s and the layout advisor falls back to
 	// static selectivity estimates.
 	DisableCapture bool
+	// WALDir, when set, makes the instance durable: every commit is
+	// written to a group-committed, CRC-framed write-ahead log in this
+	// directory before it is acknowledged, checkpoints truncate the log,
+	// and Open recovers state (checkpoint snapshots plus log replay) from
+	// whatever a crash left behind. Empty keeps the engine purely
+	// in-memory.
+	WALDir string
+	// SyncPolicy selects when the log is fsynced relative to commit
+	// acknowledgement: SyncAlways (default, zero loss), SyncGroup
+	// (background interval, bounded loss window) or SyncOff (OS-paced).
+	// Ignored without WALDir.
+	SyncPolicy SyncPolicy
+	// GroupCommitInterval is the background fsync cadence under
+	// SyncGroup; 0 selects wal.DefaultGroupInterval. Ignored otherwise.
+	GroupCommitInterval time.Duration
+
+	// walFS overrides the log's filesystem; tests inject the
+	// crash-injection FS here. Nil selects the real OS filesystem.
+	walFS wal.FS
 }
 
 // DefaultTraceRingSize is how many recent (and slow) query traces the
@@ -151,6 +171,8 @@ type DB struct {
 	registry *metrics.Registry
 	tables   map[string]*Table
 	sched    *mergeScheduler
+	wal      *wal.Log
+	ckptMu   sync.Mutex
 
 	recent     *metrics.TraceRing
 	slow       *metrics.TraceRing
@@ -222,6 +244,12 @@ func Open(cfg Config) (*DB, error) {
 		db.slowThresh = cfg.SlowQueryThreshold
 		db.selCapture = true
 	}
+	if cfg.WALDir != "" {
+		if err := db.openDurability(cfg); err != nil {
+			db.store.Close()
+			return nil, err
+		}
+	}
 	db.sched = startMergeScheduler(db, cfg)
 	if cfg.ObsAddr != "" {
 		ln, err := net.Listen("tcp", cfg.ObsAddr)
@@ -286,6 +314,15 @@ func (db *DB) CreateTable(name string, fields []Field) (*Table, error) {
 	}
 	t := newTableHandle(db, inner)
 	db.tables[name] = t
+	if db.wal != nil {
+		// Registered before the append (both under db.mu), so a
+		// concurrent checkpoint that truncates the segment holding this
+		// record necessarily listed — and snapshotted — the table.
+		if err := db.wal.AppendCreateTable(name, s.Fields()); err != nil {
+			delete(db.tables, name)
+			return nil, fmt.Errorf("tierdb: create table not durable: %w", err)
+		}
+	}
 	return t, nil
 }
 
@@ -326,8 +363,8 @@ func (db *DB) Tables() []string {
 }
 
 // Close shuts down any observability servers, stops the background
-// merge scheduler (waiting for an in-flight merge to finish) and
-// releases the underlying page store.
+// merge scheduler (waiting for an in-flight merge to finish), syncs and
+// closes the write-ahead log, and releases the underlying page store.
 func (db *DB) Close() error {
 	db.obsMu.Lock()
 	srvs := db.obsSrvs
@@ -337,5 +374,11 @@ func (db *DB) Close() error {
 		srv.Close()
 	}
 	db.sched.shutdown()
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil {
+			db.store.Close()
+			return err
+		}
+	}
 	return db.store.Close()
 }
