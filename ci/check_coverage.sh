@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Coverage gate: total statement coverage must stay within 1.0 point of
+# the checked-in floor (ci/coverage_floor.txt).
+#
+# The floor is a ratchet, not a target: bump it when a PR lands real
+# coverage (and CI will hold the line there), never lower it to make a
+# red build green — delete tests consciously or not at all.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go test -count=1 -coverprofile=coverage.out ./...
+total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+floor=$(tr -d '[:space:]' < ci/coverage_floor.txt)
+
+echo "total statement coverage: ${total}% (floor ${floor}%, tolerance 1.0)"
+if ! awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t >= f - 1.0) }'; then
+    echo "FAIL: coverage ${total}% is more than 1.0 point below the floor ${floor}%" >&2
+    echo "either restore the lost tests or (for a conscious removal) lower ci/coverage_floor.txt in the same PR" >&2
+    exit 1
+fi

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -76,13 +77,42 @@ func fetchStats(addr string) (metrics.Snapshot, error) {
 }
 
 // watchStats renders live stats once, or repeatedly every interval
-// when watch > 0 (clearing the terminal between refreshes).
+// when watch > 0 (clearing the terminal between refreshes). One-shot
+// mode fails on the first fetch error; watch mode treats fetch errors
+// as transient — it keeps retrying with capped exponential backoff so
+// a dashboard survives a server restart instead of exiting the moment
+// the port blips.
 func watchStats(out *os.File, addr string, watch time.Duration) error {
-	for {
+	return watchLoop(out, addr, watch, time.Sleep, 0)
+}
+
+// maxWatchBackoff caps the retry backoff between failed fetches in
+// watch mode.
+const maxWatchBackoff = 15 * time.Second
+
+// watchLoop is watchStats with an injectable sleep and a bounded count
+// of successful renders (rounds <= 0: unbounded), so tests can drive
+// the retry path without wall-clock delays.
+func watchLoop(out io.Writer, addr string, watch time.Duration, sleep func(time.Duration), rounds int) error {
+	backoff := watch
+	fails := 0
+	for done := 0; ; {
 		snap, err := fetchStats(addr)
 		if err != nil {
-			return err
+			if watch <= 0 {
+				return err
+			}
+			fails++
+			fmt.Fprintf(out, "fetch from %s failed (attempt %d): %v — retrying in %s\n",
+				addr, fails, err, backoff)
+			sleep(backoff)
+			if backoff *= 2; backoff > maxWatchBackoff {
+				backoff = maxWatchBackoff
+			}
+			continue
 		}
+		fails = 0
+		backoff = watch
 		if watch > 0 {
 			fmt.Fprint(out, "\033[H\033[2J")
 		}
@@ -91,7 +121,10 @@ func watchStats(out *os.File, addr string, watch time.Duration) error {
 		if watch <= 0 {
 			return nil
 		}
-		time.Sleep(watch)
+		if done++; rounds > 0 && done >= rounds {
+			return nil
+		}
+		sleep(watch)
 	}
 }
 
@@ -142,6 +175,11 @@ func statsReport(snap metrics.Snapshot) string {
 			swaps, snap.Counters["merge.rows"], snap.Counters["merge.stragglers"],
 			snap.Counters["merge.failures"],
 			snap.Gauges["delta.active_rows"].Value, snap.Gauges["delta.frozen_rows"].Value)
+	}
+	if reqs := snap.Counters["server.requests_total"]; reqs > 0 || snap.Gauges["server.sessions"].Value > 0 {
+		fmt.Fprintf(&b, "server: %d requests (%d rejects, %d errors); %d sessions, %d inflight\n",
+			reqs, snap.Counters["server.rejects"], snap.Counters["server.errors"],
+			snap.Gauges["server.sessions"].Value, snap.Gauges["server.inflight"].Value)
 	}
 	if appends := snap.Counters["wal.appends"]; appends > 0 || snap.Counters["wal.replayed_records"] > 0 {
 		fmt.Fprintf(&b, "wal: %d appends (%d bytes, %d fsyncs, %d checkpoints); recovery replayed %d records in %s modeled\n",

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWatchSurvivesRestart proves `tierctl stats -addr -watch` does not
+// exit on a transient fetch error: a server that fails its first
+// requests (a restart window) is retried with growing backoff until it
+// answers again.
+func TestWatchSurvivesRestart(t *testing.T) {
+	var requests atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The first three fetches hit the "server is restarting"
+		// window; everything after recovers.
+		if requests.Add(1) <= 3 {
+			http.Error(w, "restarting", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"counters":{"exec.queries":7,"server.requests_total":42}}`))
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	var sleeps []time.Duration
+	sleep := func(d time.Duration) { sleeps = append(sleeps, d) }
+
+	const watch = time.Millisecond
+	if err := watchLoop(&out, srv.URL, watch, sleep, 2); err != nil {
+		t.Fatalf("watch loop exited on a transient error: %v", err)
+	}
+
+	text := out.String()
+	if got := strings.Count(text, "retrying in"); got != 3 {
+		t.Errorf("saw %d retry notes, want 3:\n%s", got, text)
+	}
+	if got := strings.Count(text, "engine metrics from"); got != 2 {
+		t.Errorf("rendered %d reports, want 2:\n%s", got, text)
+	}
+	if !strings.Contains(text, "server: 42 requests") {
+		t.Errorf("report lacks the server summary line:\n%s", text)
+	}
+	// Backoff doubles between consecutive failures, then the loop goes
+	// back to plain watch-interval sleeps.
+	want := []time.Duration{watch, 2 * watch, 4 * watch, watch}
+	if len(sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Fatalf("sleeps = %v, want %v", sleeps, want)
+		}
+	}
+}
+
+// TestWatchBackoffCap proves the retry backoff saturates instead of
+// growing without bound.
+func TestWatchBackoffCap(t *testing.T) {
+	var requests atomic.Int64
+	const outage = 10
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if requests.Add(1) <= outage {
+			http.Error(w, "down", http.StatusBadGateway)
+			return
+		}
+		w.Write([]byte(`{"counters":{}}`))
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	var sleeps []time.Duration
+	if err := watchLoop(&out, srv.URL, 10*time.Second,
+		func(d time.Duration) { sleeps = append(sleeps, d) }, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(sleeps) != outage {
+		t.Fatalf("%d sleeps, want %d", len(sleeps), outage)
+	}
+	for i, d := range sleeps {
+		if d > maxWatchBackoff {
+			t.Fatalf("sleep %d = %s exceeds the %s cap", i, d, maxWatchBackoff)
+		}
+	}
+	if sleeps[outage-1] != maxWatchBackoff {
+		t.Fatalf("backoff %s never reached the cap %s", sleeps[outage-1], maxWatchBackoff)
+	}
+}
+
+// TestWatchOneShotStillFails pins the unchanged one-shot semantics:
+// without -watch, a fetch error is fatal.
+func TestWatchOneShotStillFails(t *testing.T) {
+	var out strings.Builder
+	if err := watchLoop(&out, "127.0.0.1:1", 0, func(time.Duration) {}, 0); err == nil {
+		t.Fatal("one-shot fetch against a dead port succeeded")
+	}
+}

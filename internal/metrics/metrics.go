@@ -170,6 +170,11 @@ func ExpBuckets(start int64, factor float64, n int) []int64 {
 // for DRAM faults and spun-down HDDs alike.
 func IOLatencyBuckets() []int64 { return ExpBuckets(1_000, 2, 25) }
 
+// RequestLatencyBuckets covers 10 µs .. ~10 s in powers of two — the
+// shape of network request latencies from loopback to a drained,
+// deadline-bounded straggler (the server's request_ns histogram).
+func RequestLatencyBuckets() []int64 { return ExpBuckets(10_000, 2, 21) }
+
 // MisestimateBuckets holds upper bounds for the selectivity
 // misestimation histogram. Observations are |ln(observed/estimated)|
 // in milli-nats: 693 is a 2x mis-estimate, 2303 is 10x, 4605 is 100x.

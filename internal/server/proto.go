@@ -1,0 +1,690 @@
+// Wire protocol of the tierdbd network service. Every message —
+// request and response alike — travels as one frame:
+//
+//	uvarint(payload length) | crc32c(payload), 4 bytes LE | payload
+//
+// the same framing the write-ahead log uses on disk, for the same
+// reason: a receiver can always tell a truncated or bit-flipped frame
+// from a valid one before it interprets a single payload byte. Request
+// payloads start with a one-byte opcode, response payloads with a
+// one-byte status. Values are self-describing (type byte, then 8 fixed
+// bytes for numerics or a uvarint-length string), consistent with the
+// WAL and persist codecs.
+//
+// The decoder never trusts a length it cannot verify against the
+// remaining input: hostile input yields ErrProtocol — never a panic and
+// never an unbounded allocation. Frame-level damage (bad CRC, oversize,
+// torn frame) poisons the stream and the session must close; a
+// payload-level decode error inside a CRC-valid frame leaves the stream
+// aligned, so the session can answer StatusBadRequest and continue.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"tierdb/internal/schema"
+	"tierdb/internal/value"
+)
+
+// MaxFrame bounds a frame payload (requests and responses). Frames
+// claiming more are rejected before any allocation happens.
+const MaxFrame = 64 << 20
+
+// Request opcodes.
+const (
+	OpPing        = 1  // -> empty
+	OpCreateTable = 2  // name, fields[] -> empty
+	OpInsert      = 3  // table, row -> empty
+	OpDelete      = 4  // table, rowID -> empty
+	OpUpdate      = 5  // table, rowID, row -> empty
+	OpBulkLoad    = 6  // table, rows[][] -> empty
+	OpSelect      = 7  // table, predicates[], projection[], traced -> ids, rows, trace
+	OpCheckpoint  = 8  // -> empty
+	OpStats       = 9  // -> JSON metrics.Snapshot
+	OpRows        = 10 // table -> count
+	OpTables      = 11 // -> names[]
+	OpAdvise      = 12 // table, JSON AdvisorQuery -> JSON AdvisorReport
+	OpApplyLayout = 13 // table, inDRAM[] -> empty
+)
+
+// Response status codes. Everything except StatusOK carries a message
+// string as the body.
+const (
+	StatusOK         = 0
+	StatusEngineErr  = 1 // the engine rejected the operation
+	StatusOverloaded = 2 // admission control shed the request
+	StatusBadRequest = 3 // CRC-valid frame, malformed or invalid payload
+	StatusDraining   = 4 // server is shutting down
+)
+
+// Predicate operators on the wire.
+const (
+	PredEq      = 0
+	PredBetween = 1
+)
+
+// ErrProtocol reports a violation of the wire protocol: a torn or
+// oversized frame, a CRC mismatch, or a payload that does not decode.
+// It is the only error the codec ever produces for hostile input.
+var ErrProtocol = errors.New("server: protocol error")
+
+// ErrOverloaded is returned (by the client) and signalled (by the
+// server) when admission control sheds a request or session instead of
+// queuing it unboundedly. Callers should back off and retry.
+var ErrOverloaded = errors.New("server: overloaded")
+
+// ErrDraining is signalled for requests that arrive while the server is
+// shutting down gracefully.
+var ErrDraining = errors.New("server: draining")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Predicate is one conjunctive filter of a network query. Columns are
+// addressed by name; Op is PredEq or PredBetween.
+type Predicate struct {
+	Column string
+	Op     byte
+	Value  value.Value
+	Hi     value.Value // PredBetween upper bound
+}
+
+// Result carries a query answer: qualifying row ids and, when a
+// projection was requested, the projected rows.
+type Result struct {
+	IDs  []uint64
+	Rows [][]value.Value
+}
+
+// Request is the decoded form of any request frame; which fields are
+// meaningful depends on Op.
+type Request struct {
+	Op         byte
+	Table      string
+	Fields     []schema.Field  // OpCreateTable
+	Row        []value.Value   // OpInsert, OpUpdate
+	Rows       [][]value.Value // OpBulkLoad
+	RowID      uint64          // OpDelete, OpUpdate
+	Predicates []Predicate     // OpSelect
+	Project    []string        // OpSelect
+	Traced     bool            // OpSelect
+	Blob       []byte          // OpAdvise (JSON query)
+	Layout     []bool          // OpApplyLayout
+}
+
+// Response is the decoded form of any response frame; which fields are
+// meaningful depends on the request's Op and on Status.
+type Response struct {
+	Status byte
+	Msg    string // non-OK statuses
+	IDs    []uint64
+	Rows   [][]value.Value
+	Trace  string
+	Blob   []byte
+	Names  []string
+	Count  uint64
+}
+
+// --- encoding -------------------------------------------------------
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendValue(buf []byte, v value.Value) []byte {
+	buf = append(buf, byte(v.Type()))
+	switch v.Type() {
+	case value.Int64:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Int()))
+	case value.Float64:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float()))
+	default:
+		buf = appendString(buf, v.Str())
+	}
+	return buf
+}
+
+func appendRow(buf []byte, row []value.Value) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(row)))
+	for _, v := range row {
+		buf = appendValue(buf, v)
+	}
+	return buf
+}
+
+// encodeRequest appends the request payload (opcode byte first).
+func encodeRequest(buf []byte, req Request) []byte {
+	buf = append(buf, req.Op)
+	switch req.Op {
+	case OpPing, OpCheckpoint, OpStats, OpTables:
+		// no body
+	case OpCreateTable:
+		buf = appendString(buf, req.Table)
+		buf = binary.AppendUvarint(buf, uint64(len(req.Fields)))
+		for _, f := range req.Fields {
+			buf = appendString(buf, f.Name)
+			buf = append(buf, byte(f.Type))
+			buf = binary.AppendUvarint(buf, uint64(f.Width))
+		}
+	case OpInsert:
+		buf = appendString(buf, req.Table)
+		buf = appendRow(buf, req.Row)
+	case OpDelete:
+		buf = appendString(buf, req.Table)
+		buf = binary.AppendUvarint(buf, req.RowID)
+	case OpUpdate:
+		buf = appendString(buf, req.Table)
+		buf = binary.AppendUvarint(buf, req.RowID)
+		buf = appendRow(buf, req.Row)
+	case OpBulkLoad:
+		buf = appendString(buf, req.Table)
+		buf = binary.AppendUvarint(buf, uint64(len(req.Rows)))
+		for _, row := range req.Rows {
+			buf = appendRow(buf, row)
+		}
+	case OpSelect:
+		buf = appendString(buf, req.Table)
+		buf = binary.AppendUvarint(buf, uint64(len(req.Predicates)))
+		for _, p := range req.Predicates {
+			buf = appendString(buf, p.Column)
+			buf = append(buf, p.Op)
+			buf = appendValue(buf, p.Value)
+			if p.Op == PredBetween {
+				buf = appendValue(buf, p.Hi)
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(req.Project)))
+		for _, name := range req.Project {
+			buf = appendString(buf, name)
+		}
+		t := byte(0)
+		if req.Traced {
+			t = 1
+		}
+		buf = append(buf, t)
+	case OpRows:
+		buf = appendString(buf, req.Table)
+	case OpAdvise:
+		buf = appendString(buf, req.Table)
+		buf = appendBytes(buf, req.Blob)
+	case OpApplyLayout:
+		buf = appendString(buf, req.Table)
+		buf = binary.AppendUvarint(buf, uint64(len(req.Layout)))
+		for _, inDRAM := range req.Layout {
+			b := byte(0)
+			if inDRAM {
+				b = 1
+			}
+			buf = append(buf, b)
+		}
+	}
+	return buf
+}
+
+// encodeResponse appends the response payload (status byte first). The
+// response body layout is keyed by the request opcode it answers.
+func encodeResponse(buf []byte, op byte, resp Response) []byte {
+	buf = append(buf, resp.Status)
+	if resp.Status != StatusOK {
+		return appendString(buf, resp.Msg)
+	}
+	switch op {
+	case OpSelect:
+		buf = binary.AppendUvarint(buf, uint64(len(resp.IDs)))
+		for _, id := range resp.IDs {
+			buf = binary.AppendUvarint(buf, id)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(resp.Rows)))
+		for _, row := range resp.Rows {
+			buf = appendRow(buf, row)
+		}
+		buf = appendString(buf, resp.Trace)
+	case OpStats, OpAdvise:
+		buf = appendBytes(buf, resp.Blob)
+	case OpRows:
+		buf = binary.AppendUvarint(buf, resp.Count)
+	case OpTables:
+		buf = binary.AppendUvarint(buf, uint64(len(resp.Names)))
+		for _, n := range resp.Names {
+			buf = appendString(buf, n)
+		}
+	}
+	return buf
+}
+
+// appendFrame frames payload into buf: length, CRC, payload.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	return append(buf, payload...)
+}
+
+// writeFrame frames and writes one payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	_, err := w.Write(appendFrame(make([]byte, 0, len(payload)+9), payload))
+	return err
+}
+
+// WriteRequest frames and writes one request payload.
+func WriteRequest(w io.Writer, req Request) error {
+	return writeFrame(w, encodeRequest(make([]byte, 0, 64), req))
+}
+
+// DecodeBareResponse decodes a response payload received outside any
+// request/response pairing — only error statuses are legal there (the
+// one-frame reject a shed connection receives).
+func DecodeBareResponse(payload []byte) (Response, error) {
+	resp, err := DecodeResponse(0, payload)
+	if err != nil {
+		return Response{}, err
+	}
+	if resp.Status == StatusOK {
+		return Response{}, fmt.Errorf("%w: unsolicited OK response", ErrProtocol)
+	}
+	return resp, nil
+}
+
+// ReadFrame reads one frame and returns its CRC-verified payload. A
+// clean EOF at a frame boundary returns io.EOF; anything torn,
+// oversized or corrupt returns ErrProtocol. The stream must be
+// considered poisoned after any non-EOF error.
+func ReadFrame(br *bufio.Reader) ([]byte, error) {
+	plen, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: frame length: %w", ErrProtocol, err)
+	}
+	if plen > MaxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrProtocol, plen, MaxFrame)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: frame CRC: %w", ErrProtocol, err)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("%w: torn frame: %w", ErrProtocol, err)
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[:]) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrProtocol)
+	}
+	return payload, nil
+}
+
+// --- decoding -------------------------------------------------------
+
+// reader is a bounds-checked cursor over a decoded payload.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.pos }
+
+func (r *reader) byte() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, ErrProtocol
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrProtocol
+	}
+	r.pos += n
+	return x, nil
+}
+
+// count reads a uvarint element count and rejects it when even at min
+// bytes per element it cannot fit in the remaining payload — the bound
+// that keeps hostile counts from driving huge allocations.
+func (r *reader) count(minBytesPerElem int) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(r.remaining()/minBytesPerElem) {
+		return 0, ErrProtocol
+	}
+	return int(n), nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, ErrProtocol
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) lenBytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining()) {
+		return nil, ErrProtocol
+	}
+	return r.bytes(int(n))
+}
+
+func (r *reader) string() (string, error) {
+	b, err := r.lenBytes()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) value() (value.Value, error) {
+	t, err := r.byte()
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch value.Type(t) {
+	case value.Int64:
+		b, err := r.bytes(8)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewInt(int64(binary.LittleEndian.Uint64(b))), nil
+	case value.Float64:
+		b, err := r.bytes(8)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case value.String:
+		s, err := r.string()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewString(s), nil
+	}
+	return value.Value{}, ErrProtocol
+}
+
+func (r *reader) row() ([]value.Value, error) {
+	n, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]value.Value, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := r.value()
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	return row, nil
+}
+
+func (r *reader) done() error {
+	if r.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrProtocol, r.remaining())
+	}
+	return nil
+}
+
+// decodeRequest decodes one request payload (as framed: opcode first).
+func decodeRequest(payload []byte) (Request, error) {
+	r := &reader{buf: payload}
+	op, err := r.byte()
+	if err != nil {
+		return Request{}, err
+	}
+	req := Request{Op: op}
+	switch op {
+	case OpPing, OpCheckpoint, OpStats, OpTables:
+		// no body
+	case OpCreateTable:
+		if req.Table, err = r.string(); err != nil {
+			return Request{}, err
+		}
+		n, err := r.count(3) // empty name + type + width
+		if err != nil {
+			return Request{}, err
+		}
+		req.Fields = make([]schema.Field, 0, n)
+		for i := 0; i < n; i++ {
+			var f schema.Field
+			if f.Name, err = r.string(); err != nil {
+				return Request{}, err
+			}
+			t, err := r.byte()
+			if err != nil {
+				return Request{}, err
+			}
+			if value.Type(t) > value.String {
+				return Request{}, fmt.Errorf("%w: unknown value type %d", ErrProtocol, t)
+			}
+			f.Type = value.Type(t)
+			w, err := r.uvarint()
+			if err != nil {
+				return Request{}, err
+			}
+			if w > 1<<24 {
+				return Request{}, fmt.Errorf("%w: field width %d", ErrProtocol, w)
+			}
+			f.Width = int(w)
+			req.Fields = append(req.Fields, f)
+		}
+	case OpInsert:
+		if req.Table, err = r.string(); err != nil {
+			return Request{}, err
+		}
+		if req.Row, err = r.row(); err != nil {
+			return Request{}, err
+		}
+	case OpDelete:
+		if req.Table, err = r.string(); err != nil {
+			return Request{}, err
+		}
+		if req.RowID, err = r.uvarint(); err != nil {
+			return Request{}, err
+		}
+	case OpUpdate:
+		if req.Table, err = r.string(); err != nil {
+			return Request{}, err
+		}
+		if req.RowID, err = r.uvarint(); err != nil {
+			return Request{}, err
+		}
+		if req.Row, err = r.row(); err != nil {
+			return Request{}, err
+		}
+	case OpBulkLoad:
+		if req.Table, err = r.string(); err != nil {
+			return Request{}, err
+		}
+		n, err := r.count(1)
+		if err != nil {
+			return Request{}, err
+		}
+		req.Rows = make([][]value.Value, 0, n)
+		for i := 0; i < n; i++ {
+			row, err := r.row()
+			if err != nil {
+				return Request{}, err
+			}
+			req.Rows = append(req.Rows, row)
+		}
+	case OpSelect:
+		if req.Table, err = r.string(); err != nil {
+			return Request{}, err
+		}
+		nPred, err := r.count(3) // empty column + op + value type
+		if err != nil {
+			return Request{}, err
+		}
+		req.Predicates = make([]Predicate, 0, nPred)
+		for i := 0; i < nPred; i++ {
+			var p Predicate
+			if p.Column, err = r.string(); err != nil {
+				return Request{}, err
+			}
+			if p.Op, err = r.byte(); err != nil {
+				return Request{}, err
+			}
+			if p.Op != PredEq && p.Op != PredBetween {
+				return Request{}, fmt.Errorf("%w: unknown predicate op %d", ErrProtocol, p.Op)
+			}
+			if p.Value, err = r.value(); err != nil {
+				return Request{}, err
+			}
+			if p.Op == PredBetween {
+				if p.Hi, err = r.value(); err != nil {
+					return Request{}, err
+				}
+			}
+			req.Predicates = append(req.Predicates, p)
+		}
+		nProj, err := r.count(1)
+		if err != nil {
+			return Request{}, err
+		}
+		req.Project = make([]string, 0, nProj)
+		for i := 0; i < nProj; i++ {
+			name, err := r.string()
+			if err != nil {
+				return Request{}, err
+			}
+			req.Project = append(req.Project, name)
+		}
+		t, err := r.byte()
+		if err != nil {
+			return Request{}, err
+		}
+		if t > 1 {
+			return Request{}, fmt.Errorf("%w: bad traced flag %d", ErrProtocol, t)
+		}
+		req.Traced = t == 1
+	case OpRows:
+		if req.Table, err = r.string(); err != nil {
+			return Request{}, err
+		}
+	case OpAdvise:
+		if req.Table, err = r.string(); err != nil {
+			return Request{}, err
+		}
+		if req.Blob, err = r.lenBytes(); err != nil {
+			return Request{}, err
+		}
+	case OpApplyLayout:
+		if req.Table, err = r.string(); err != nil {
+			return Request{}, err
+		}
+		n, err := r.count(1)
+		if err != nil {
+			return Request{}, err
+		}
+		req.Layout = make([]bool, 0, n)
+		for i := 0; i < n; i++ {
+			b, err := r.byte()
+			if err != nil {
+				return Request{}, err
+			}
+			if b > 1 {
+				return Request{}, fmt.Errorf("%w: bad layout byte %d", ErrProtocol, b)
+			}
+			req.Layout = append(req.Layout, b == 1)
+		}
+	default:
+		return Request{}, fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op)
+	}
+	if err := r.done(); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// DecodeResponse decodes one response payload for the given request
+// opcode (as framed: status first).
+func DecodeResponse(op byte, payload []byte) (Response, error) {
+	r := &reader{buf: payload}
+	status, err := r.byte()
+	if err != nil {
+		return Response{}, err
+	}
+	resp := Response{Status: status}
+	if status != StatusOK {
+		if status > StatusDraining {
+			return Response{}, fmt.Errorf("%w: unknown status %d", ErrProtocol, status)
+		}
+		if resp.Msg, err = r.string(); err != nil {
+			return Response{}, err
+		}
+		return resp, r.done()
+	}
+	switch op {
+	case OpSelect:
+		nIDs, err := r.count(1)
+		if err != nil {
+			return Response{}, err
+		}
+		resp.IDs = make([]uint64, 0, nIDs)
+		for i := 0; i < nIDs; i++ {
+			id, err := r.uvarint()
+			if err != nil {
+				return Response{}, err
+			}
+			resp.IDs = append(resp.IDs, id)
+		}
+		nRows, err := r.count(1)
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Rows = make([][]value.Value, 0, nRows)
+		for i := 0; i < nRows; i++ {
+			row, err := r.row()
+			if err != nil {
+				return Response{}, err
+			}
+			resp.Rows = append(resp.Rows, row)
+		}
+		if resp.Trace, err = r.string(); err != nil {
+			return Response{}, err
+		}
+	case OpStats, OpAdvise:
+		if resp.Blob, err = r.lenBytes(); err != nil {
+			return Response{}, err
+		}
+	case OpRows:
+		if resp.Count, err = r.uvarint(); err != nil {
+			return Response{}, err
+		}
+	case OpTables:
+		n, err := r.count(1)
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Names = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			name, err := r.string()
+			if err != nil {
+				return Response{}, err
+			}
+			resp.Names = append(resp.Names, name)
+		}
+	}
+	return resp, r.done()
+}

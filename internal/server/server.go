@@ -1,0 +1,418 @@
+// Package server is tierdb's concurrent network service layer: a TCP
+// server exposing the engine's operations over the CRC-framed binary
+// protocol of proto.go. It is deliberately root-decoupled — the engine
+// is an interface, so the package has no dependency on the tierdb root
+// package (which wires it up via Config.ListenAddr) and tests can run
+// sessions against a fake.
+//
+// The server is production-shaped rather than demo-shaped:
+//
+//   - Admission control. A session semaphore (Config.MaxSessions) caps
+//     concurrent connections and an inflight semaphore
+//     (Config.MaxInflight) caps requests executing in the engine at
+//     once. Both shed load with a typed overloaded response the moment
+//     they are full — nothing queues unboundedly.
+//   - Deadlines. Every frame read carries a read deadline and every
+//     response write a write deadline, so a stalled or vanished peer
+//     can never pin a session goroutine forever.
+//   - Graceful drain. Shutdown stops accepting, nudges idle sessions
+//     awake, answers late requests with StatusDraining, waits for
+//     inflight work to finish writing its responses, and only then
+//     returns — so the owner can close the engine (WAL, merge
+//     scheduler) with no request mid-flight.
+//   - Observability. server.{sessions,inflight,requests_total,rejects,
+//     request_ns} land in the engine's metrics registry and therefore
+//     in /metrics, /stats.json and `tierctl stats`.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tierdb/internal/metrics"
+	"tierdb/internal/schema"
+	"tierdb/internal/value"
+)
+
+// Engine is the surface the service layer needs from the database. The
+// tierdb root package adapts *tierdb.DB to it; tests substitute fakes.
+// Implementations must be safe for concurrent use.
+type Engine interface {
+	CreateTable(name string, fields []schema.Field) error
+	Insert(table string, row []value.Value) error
+	Delete(table string, id uint64) error
+	Update(table string, id uint64, row []value.Value) error
+	BulkLoad(table string, rows [][]value.Value) error
+	// Select runs a conjunctive query; trace is non-empty when traced
+	// execution was requested.
+	Select(table string, preds []Predicate, project []string, traced bool) (*Result, string, error)
+	Checkpoint() error
+	// StatsJSON returns the engine metrics snapshot as JSON.
+	StatsJSON() ([]byte, error)
+	Rows(table string) (int, error)
+	Tables() []string
+	// Advise runs the layout advisor; query and report are JSON
+	// (obsrv.AdvisorQuery / obsrv.AdvisorReport).
+	Advise(table string, query []byte) ([]byte, error)
+	ApplyLayout(table string, inDRAM []bool) error
+}
+
+// Config tunes the service layer. The zero value selects the defaults.
+type Config struct {
+	// MaxSessions caps concurrent connections; further connects are
+	// shed with an overloaded frame and closed. 0 selects
+	// DefaultMaxSessions.
+	MaxSessions int
+	// MaxInflight caps requests executing in the engine at once across
+	// all sessions; excess requests are answered with an overloaded
+	// response immediately instead of queuing. 0 selects
+	// DefaultMaxInflight.
+	MaxInflight int
+	// ReadTimeout bounds how long a session waits for the next request
+	// frame (i.e. the idle timeout). 0 selects DefaultReadTimeout.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response. 0 selects
+	// DefaultWriteTimeout.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds how long Shutdown waits for inflight
+	// requests before force-closing their connections. 0 selects
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	// Registry receives the server.* instruments; nil runs unmetered.
+	Registry *metrics.Registry
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultMaxSessions  = 256
+	DefaultMaxInflight  = 64
+	DefaultReadTimeout  = 5 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+	DefaultDrainTimeout = 10 * time.Second
+)
+
+// Server serves the tierdb wire protocol on listeners passed to Serve.
+type Server struct {
+	engine   Engine
+	cfg      Config
+	inflight chan struct{}
+
+	sessions  *metrics.Gauge
+	inflightG *metrics.Gauge
+	requests  *metrics.Counter
+	rejects   *metrics.Counter
+	errs      *metrics.Counter
+	requestNs *metrics.Histogram
+
+	draining atomic.Bool
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	nSessions int
+	wg        sync.WaitGroup // one per live session
+}
+
+// New builds a server for the engine. Call Serve to start accepting.
+func New(engine Engine, cfg Config) *Server {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = DefaultReadTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	r := cfg.Registry
+	return &Server{
+		engine:    engine,
+		cfg:       cfg,
+		inflight:  make(chan struct{}, cfg.MaxInflight),
+		sessions:  r.Gauge("server.sessions"),
+		inflightG: r.Gauge("server.inflight"),
+		requests:  r.Counter("server.requests_total"),
+		rejects:   r.Counter("server.rejects"),
+		errs:      r.Counter("server.errors"),
+		requestNs: r.Histogram("server.request_ns", metrics.RequestLatencyBuckets()),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on l until the listener fails or the server
+// shuts down. It blocks; run it in a goroutine. Multiple listeners may
+// be served concurrently.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		l.Close()
+		return ErrDraining
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		if !s.admitSession(conn) {
+			continue
+		}
+		s.wg.Add(1)
+		go s.session(conn)
+	}
+}
+
+// admitSession registers the connection against the session cap. Over
+// capacity (or while draining) it sheds the connection: a best-effort
+// typed error frame, then close.
+func (s *Server) admitSession(conn net.Conn) bool {
+	status := byte(StatusOK)
+	s.mu.Lock()
+	switch {
+	case s.draining.Load():
+		status = StatusDraining
+	case s.nSessions >= s.cfg.MaxSessions:
+		status = StatusOverloaded
+	default:
+		s.nSessions++
+		s.conns[conn] = struct{}{}
+	}
+	s.mu.Unlock()
+	if status == StatusOK {
+		s.sessions.Add(1)
+		return true
+	}
+	s.rejects.Inc()
+	msg := ErrOverloaded.Error()
+	if status == StatusDraining {
+		msg = ErrDraining.Error()
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	writeFrame(conn, encodeResponse(nil, 0, Response{Status: status, Msg: msg}))
+	conn.Close()
+	return false
+}
+
+// session runs one connection: read a frame, handle it, write the
+// response, repeat. Responses go out in request order, which is what
+// lets clients pipeline.
+func (s *Server) session(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.nSessions--
+		s.mu.Unlock()
+		s.sessions.Add(-1)
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	respond := func(op byte, resp Response) bool {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := writeFrame(bw, encodeResponse(nil, op, resp)); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+	for {
+		if s.draining.Load() {
+			// Draining: answer whatever the client already pipelined
+			// with StatusDraining, then close. An expired deadline only
+			// interrupts reads that would touch the socket, so frames
+			// already sitting in the buffer still decode.
+			conn.SetReadDeadline(time.Now())
+		} else {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		payload, err := ReadFrame(br)
+		if err != nil {
+			// Clean EOF, peer timeout and drain wakeups all end the
+			// session silently. Frame-level protocol damage gets a
+			// best-effort typed error frame first — the stream is
+			// poisoned, so the session cannot continue either way.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return
+			}
+			if errors.Is(err, ErrProtocol) && !s.draining.Load() {
+				respond(0, Response{Status: StatusBadRequest, Msg: err.Error()})
+			}
+			return
+		}
+		if s.draining.Load() {
+			respond(0, Response{Status: StatusDraining, Msg: ErrDraining.Error()})
+			return
+		}
+		req, err := decodeRequest(payload)
+		if err != nil {
+			// CRC-valid but malformed payload: the stream is still
+			// frame-aligned, so answer the error and keep the session.
+			s.errs.Inc()
+			if !respond(0, Response{Status: StatusBadRequest, Msg: err.Error()}) {
+				return
+			}
+			continue
+		}
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			s.rejects.Inc()
+			if !respond(req.Op, Response{Status: StatusOverloaded, Msg: ErrOverloaded.Error()}) {
+				return
+			}
+			continue
+		}
+		s.inflightG.Add(1)
+		start := time.Now()
+		resp := s.handle(req)
+		s.requestNs.Observe(time.Since(start).Nanoseconds())
+		s.inflightG.Add(-1)
+		<-s.inflight
+		s.requests.Inc()
+		if resp.Status != StatusOK {
+			s.errs.Inc()
+		}
+		if !respond(req.Op, resp) {
+			return
+		}
+	}
+}
+
+// handle executes one decoded request against the engine.
+func (s *Server) handle(req Request) Response {
+	fail := func(err error) Response {
+		return Response{Status: StatusEngineErr, Msg: err.Error()}
+	}
+	switch req.Op {
+	case OpPing:
+		return Response{}
+	case OpCreateTable:
+		if err := s.engine.CreateTable(req.Table, req.Fields); err != nil {
+			return fail(err)
+		}
+	case OpInsert:
+		if err := s.engine.Insert(req.Table, req.Row); err != nil {
+			return fail(err)
+		}
+	case OpDelete:
+		if err := s.engine.Delete(req.Table, req.RowID); err != nil {
+			return fail(err)
+		}
+	case OpUpdate:
+		if err := s.engine.Update(req.Table, req.RowID, req.Row); err != nil {
+			return fail(err)
+		}
+	case OpBulkLoad:
+		if err := s.engine.BulkLoad(req.Table, req.Rows); err != nil {
+			return fail(err)
+		}
+	case OpSelect:
+		res, trace, err := s.engine.Select(req.Table, req.Predicates, req.Project, req.Traced)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{IDs: res.IDs, Rows: res.Rows, Trace: trace}
+	case OpCheckpoint:
+		if err := s.engine.Checkpoint(); err != nil {
+			return fail(err)
+		}
+	case OpStats:
+		blob, err := s.engine.StatsJSON()
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Blob: blob}
+	case OpRows:
+		n, err := s.engine.Rows(req.Table)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Count: uint64(n)}
+	case OpTables:
+		return Response{Names: s.engine.Tables()}
+	case OpAdvise:
+		blob, err := s.engine.Advise(req.Table, req.Blob)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Blob: blob}
+	case OpApplyLayout:
+		if err := s.engine.ApplyLayout(req.Table, req.Layout); err != nil {
+			return fail(err)
+		}
+	default:
+		return Response{Status: StatusBadRequest, Msg: fmt.Sprintf("unknown opcode %d", req.Op)}
+	}
+	return Response{}
+}
+
+// Shutdown drains the server gracefully: stop accepting, wake idle
+// sessions (their next read returns immediately and they close after
+// answering StatusDraining to anything already in their buffers), wait
+// up to DrainTimeout for inflight requests to finish writing their
+// responses, then force-close whatever remains. It does NOT close the
+// engine — the owner does that after Shutdown returns, so no request
+// is mid-flight when the WAL and merge scheduler wind down.
+//
+// The returned error is non-nil only when the drain timed out and
+// connections had to be force-closed.
+func (s *Server) Shutdown() error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	for l := range s.listeners {
+		l.Close()
+	}
+	// Nudge every blocked read awake; sessions mid-request finish and
+	// notice the drain flag before reading again.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(s.cfg.DrainTimeout):
+	}
+	s.mu.Lock()
+	n := len(s.conns)
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	// Do not wait for the session goroutines themselves: one may be
+	// wedged inside an engine call that force-closing its socket cannot
+	// interrupt. It cleans itself up whenever the engine returns.
+	return fmt.Errorf("server: drain timed out, force-closed %d sessions", n)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -1,0 +1,179 @@
+package tierdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"tierdb/internal/obsrv"
+	"tierdb/internal/server"
+	"tierdb/internal/value"
+)
+
+// Network service errors, re-exported for callers of the client
+// package that only import tierdb.
+var (
+	// ErrOverloaded is how the service layer sheds load when admission
+	// control (Config.MaxSessions / Config.MaxInflight) is saturated.
+	ErrOverloaded = server.ErrOverloaded
+	// ErrDraining answers requests that arrive during graceful
+	// shutdown.
+	ErrDraining = server.ErrDraining
+)
+
+// Serve serves the tierdb wire protocol on the given listener until the
+// database is closed. It blocks; run it in a goroutine when the caller
+// owns the listener (Config.ListenAddr does this automatically).
+func (db *DB) Serve(l net.Listener) error {
+	db.obsMu.Lock()
+	if db.srvAddr == "" {
+		db.srvAddr = l.Addr().String()
+	}
+	db.obsMu.Unlock()
+	return db.srv.Serve(l)
+}
+
+// ServerAddr returns the address the service layer is listening on
+// ("host:port"), or "" when no listener is serving. With ListenAddr
+// ":0" this reports the actual port.
+func (db *DB) ServerAddr() string {
+	db.obsMu.Lock()
+	defer db.obsMu.Unlock()
+	return db.srvAddr
+}
+
+// dbEngine adapts *DB to the service layer's engine interface. It lives
+// in the root package so internal/server stays root-decoupled (and
+// testable against fakes).
+type dbEngine struct {
+	db *DB
+}
+
+func (e dbEngine) CreateTable(name string, fields []Field) error {
+	_, err := e.db.CreateTable(name, fields)
+	return err
+}
+
+func (e dbEngine) Insert(table string, row []value.Value) error {
+	t, err := e.db.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.Insert(row)
+}
+
+func (e dbEngine) Delete(table string, id uint64) error {
+	t, err := e.db.Table(table)
+	if err != nil {
+		return err
+	}
+	tx := e.db.Begin()
+	if err := t.Delete(tx, id); err != nil {
+		if aerr := e.db.Abort(tx); aerr != nil {
+			return fmt.Errorf("%w (abort failed: %v)", err, aerr)
+		}
+		return err
+	}
+	return e.db.Commit(tx)
+}
+
+func (e dbEngine) Update(table string, id uint64, row []value.Value) error {
+	t, err := e.db.Table(table)
+	if err != nil {
+		return err
+	}
+	tx := e.db.Begin()
+	if err := t.Update(tx, id, row); err != nil {
+		if aerr := e.db.Abort(tx); aerr != nil {
+			return fmt.Errorf("%w (abort failed: %v)", err, aerr)
+		}
+		return err
+	}
+	return e.db.Commit(tx)
+}
+
+func (e dbEngine) BulkLoad(table string, rows [][]value.Value) error {
+	t, err := e.db.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.BulkLoad(rows)
+}
+
+func (e dbEngine) Select(table string, preds []server.Predicate, project []string, traced bool) (*server.Result, string, error) {
+	t, err := e.db.Table(table)
+	if err != nil {
+		return nil, "", err
+	}
+	ps := make([]Predicate, 0, len(preds))
+	for _, p := range preds {
+		var pred Predicate
+		var err error
+		if p.Op == server.PredBetween {
+			pred, err = t.Between(p.Column, p.Value, p.Hi)
+		} else {
+			pred, err = t.Eq(p.Column, p.Value)
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		ps = append(ps, pred)
+	}
+	var res *SelectResult
+	trace := ""
+	if traced {
+		var tr *QueryTrace
+		res, tr, err = t.SelectTraced(nil, ps, project...)
+		if err == nil {
+			trace = tr.String()
+		}
+	} else {
+		res, err = t.Select(nil, ps, project...)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	return &server.Result{IDs: res.IDs, Rows: res.Rows}, trace, nil
+}
+
+func (e dbEngine) Checkpoint() error { return e.db.Checkpoint() }
+
+func (e dbEngine) StatsJSON() ([]byte, error) {
+	return json.Marshal(e.db.Stats())
+}
+
+func (e dbEngine) Rows(table string) (int, error) {
+	t, err := e.db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.Rows(), nil
+}
+
+func (e dbEngine) Tables() []string { return e.db.Tables() }
+
+func (e dbEngine) Advise(table string, query []byte) ([]byte, error) {
+	t, err := e.db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	var q obsrv.AdvisorQuery
+	if len(query) > 0 {
+		if err := json.Unmarshal(query, &q); err != nil {
+			return nil, fmt.Errorf("tierdb: bad advisor query: %w", err)
+		}
+	}
+	rep, err := t.Advise(q)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(rep)
+}
+
+func (e dbEngine) ApplyLayout(table string, inDRAM []bool) error {
+	t, err := e.db.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.ApplyLayout(Layout{InDRAM: inDRAM})
+}

@@ -37,6 +37,7 @@ import (
 	"tierdb/internal/metrics"
 	"tierdb/internal/mvcc"
 	"tierdb/internal/schema"
+	"tierdb/internal/server"
 	"tierdb/internal/storage"
 	"tierdb/internal/table"
 	"tierdb/internal/value"
@@ -147,6 +148,27 @@ type Config struct {
 	// GroupCommitInterval is the background fsync cadence under
 	// SyncGroup; 0 selects wal.DefaultGroupInterval. Ignored otherwise.
 	GroupCommitInterval time.Duration
+	// ListenAddr, when set, serves the tierdb wire protocol (the
+	// tierdbd network service: inserts, bulk loads, selects,
+	// checkpoints, stats, layout advice) on this TCP address for the
+	// lifetime of the instance. Use ":0" with ServerAddr to grab a
+	// random port; Close drains sessions before the WAL and merge
+	// scheduler wind down. Endpoints can also be served on a
+	// caller-owned listener via Serve.
+	ListenAddr string
+	// MaxSessions caps concurrent network sessions; further connects
+	// are shed with a typed overloaded error instead of queuing. 0
+	// selects server.DefaultMaxSessions. Ignored without ListenAddr.
+	MaxSessions int
+	// MaxInflight caps network requests executing in the engine at
+	// once; excess requests are answered with ErrOverloaded
+	// immediately. 0 selects server.DefaultMaxInflight. Ignored
+	// without ListenAddr.
+	MaxInflight int
+	// DrainTimeout bounds how long Close waits for inflight network
+	// requests before force-closing their sessions; 0 selects
+	// server.DefaultDrainTimeout. Ignored without ListenAddr.
+	DrainTimeout time.Duration
 
 	// walFS overrides the log's filesystem; tests inject the
 	// crash-injection FS here. Nil selects the real OS filesystem.
@@ -182,6 +204,8 @@ type DB struct {
 	obsMu   sync.Mutex
 	obsSrvs []*http.Server
 	obsAddr string
+	srv     *server.Server
+	srvAddr string
 }
 
 // Open creates a database instance.
@@ -251,6 +275,21 @@ func Open(cfg Config) (*DB, error) {
 		}
 	}
 	db.sched = startMergeScheduler(db, cfg)
+	db.srv = server.New(dbEngine{db}, server.Config{
+		MaxSessions:  cfg.MaxSessions,
+		MaxInflight:  cfg.MaxInflight,
+		DrainTimeout: cfg.DrainTimeout,
+		Registry:     registry,
+	})
+	if cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("tierdb: service listener: %w", err)
+		}
+		db.srvAddr = ln.Addr().String()
+		go db.srv.Serve(ln)
+	}
 	if cfg.ObsAddr != "" {
 		ln, err := net.Listen("tcp", cfg.ObsAddr)
 		if err != nil {
@@ -362,10 +401,16 @@ func (db *DB) Tables() []string {
 	return out
 }
 
-// Close shuts down any observability servers, stops the background
-// merge scheduler (waiting for an in-flight merge to finish), syncs and
-// closes the write-ahead log, and releases the underlying page store.
+// Close shuts the instance down in dependency order: first the network
+// service layer drains (stop accepting, answer stragglers with
+// ErrDraining, wait for inflight requests to finish), then the
+// observability servers stop, the background merge scheduler winds down
+// (waiting for an in-flight merge), the write-ahead log syncs and
+// closes, and finally the underlying page store is released. Draining
+// before the scheduler and WAL is what guarantees no network request is
+// mid-commit when the log closes.
 func (db *DB) Close() error {
+	db.srv.Shutdown()
 	db.obsMu.Lock()
 	srvs := db.obsSrvs
 	db.obsSrvs = nil
