@@ -131,7 +131,7 @@ func (c *Client) dial() (*conn, error) {
 
 // pick returns a live connection round-robin, replacing dead slots.
 func (c *Client) pick() (*conn, error) {
-	slot := int(c.next.Add(1)) % c.cfg.PoolSize
+	slot := int(c.next.Add(1) % uint64(c.cfg.PoolSize))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -198,10 +198,10 @@ func (cn *conn) close(cause error) {
 	cn.emu.Unlock()
 	cn.closeOnce.Do(func() {
 		cn.nc.Close()
-		// Fail the pending queue. No new entries can arrive: senders
-		// check cn.err under wmu before enqueuing... they check via
-		// alive() outside wmu, so a racing sender may still enqueue;
-		// its slot is drained by readLoop's final sweep instead.
+		// readLoop's final sweep fails the pending queue. A sender
+		// racing with the close may still enqueue after the sweep; its
+		// subsequent write fails and do() returns the close cause
+		// directly, so no caller is left waiting on an orphaned slot.
 	})
 }
 
@@ -276,18 +276,18 @@ func (cn *conn) do(req server.Request, timeout time.Duration) (server.Response, 
 		cn.wmu.Unlock()
 		return server.Response{}, err
 	}
+	// Enqueue while still holding wmu so pending-queue order is always
+	// identical to wire order — readLoop matches response frames to
+	// slots strictly FIFO, and an enqueue outside the write lock would
+	// let another caller's request reach the wire first. When the
+	// pipeline is full this blocks other writers on this connection:
+	// bounded backpressure, since slots drain at the connection's
+	// service rate (and close's sweep empties the queue on failure).
 	select {
 	case cn.pending <- slot:
-	default:
-		// Pipeline full: bounded client-side wait rather than
-		// unbounded queue growth.
+	case <-time.After(timeout):
 		cn.wmu.Unlock()
-		select {
-		case cn.pending <- slot:
-			cn.wmu.Lock()
-		case <-time.After(timeout):
-			return server.Response{}, fmt.Errorf("client: pipeline full for %s", timeout)
-		}
+		return server.Response{}, fmt.Errorf("client: pipeline full for %s", timeout)
 	}
 	cn.nc.SetWriteDeadline(time.Now().Add(timeout))
 	err := server.WriteRequest(cn.bw, req)
@@ -297,7 +297,14 @@ func (cn *conn) do(req server.Request, timeout time.Duration) (server.Response, 
 	cn.wmu.Unlock()
 	if err != nil {
 		cn.close(fmt.Errorf("client: write: %w", err))
-		// readLoop's sweep (or the close itself) fails our slot.
+		// Fail fast with the close cause rather than waiting on the
+		// slot: if the connection died concurrently, readLoop's final
+		// sweep may have finished before our slot was enqueued, and
+		// then nothing would ever deliver into it.
+		cn.emu.Lock()
+		cause := cn.err
+		cn.emu.Unlock()
+		return server.Response{}, cause
 	}
 	select {
 	case res := <-slot:

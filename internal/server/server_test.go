@@ -359,6 +359,43 @@ func TestPipelining(t *testing.T) {
 	}
 }
 
+// TestPipelineSaturationFIFO hammers a single connection whose pipeline
+// is tiny, so nearly every request takes the pipeline-full path, and
+// checks each caller receives its own response. The fake engine's
+// Advise echoes the request's table name, so a response delivered to
+// the wrong caller is detected even though all frames are same-shaped.
+// Regression test: enqueuing into the pending queue without holding the
+// write lock let queue order diverge from wire order, crossing
+// responses between callers under saturation.
+func TestPipelineSaturationFIFO(t *testing.T) {
+	e := newFakeEngine()
+	_, addr := boot(t, e, server.Config{})
+	c, err := client.Dial(client.Config{Addr: addr, PoolSize: 1, MaxPipeline: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 300
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			table := fmt.Sprintf("t%d", i)
+			rep, err := c.Advise(table, obsrv.AdvisorQuery{})
+			if err != nil {
+				t.Errorf("advise %s: %v", table, err)
+				return
+			}
+			if rep.Table != table {
+				t.Errorf("advise %s: got response for %s", table, rep.Table)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
 // TestGracefulDrain proves Shutdown waits for an inflight request to
 // finish and answer, and that connections after shutdown are refused.
 func TestGracefulDrain(t *testing.T) {

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -288,7 +289,14 @@ func Open(cfg Config) (*DB, error) {
 			return nil, fmt.Errorf("tierdb: service listener: %w", err)
 		}
 		db.srvAddr = ln.Addr().String()
-		go db.srv.Serve(ln)
+		go func() {
+			// Serve returns nil on graceful drain; anything else means
+			// the accept loop died and the process is running without
+			// network service.
+			if err := db.srv.Serve(ln); err != nil {
+				fmt.Fprintln(os.Stderr, "tierdb: service listener failed:", err)
+			}
+		}()
 	}
 	if cfg.ObsAddr != "" {
 		ln, err := net.Listen("tcp", cfg.ObsAddr)
@@ -297,7 +305,11 @@ func Open(cfg Config) (*DB, error) {
 			return nil, fmt.Errorf("tierdb: observability listener: %w", err)
 		}
 		db.obsAddr = ln.Addr().String()
-		go db.ServeObservability(ln)
+		go func() {
+			if err := db.ServeObservability(ln); err != nil {
+				fmt.Fprintln(os.Stderr, "tierdb: observability listener failed:", err)
+			}
+		}()
 	}
 	return db, nil
 }
