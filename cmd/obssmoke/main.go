@@ -42,6 +42,9 @@ func run() error {
 		CacheFrames:        128,
 		ObsAddr:            "127.0.0.1:0",
 		SlowQueryThreshold: 100 * time.Microsecond,
+		// Fast cycles so the smoke test can watch the adaptive daemon
+		// tick; the default guardrails stay on.
+		AdaptiveInterval: 50 * time.Millisecond,
 	})
 	if err != nil {
 		return err
@@ -148,6 +151,50 @@ func run() error {
 	}
 	fmt.Printf("/layout/advisor: recommendation applied (modeled cost %.4g -> %.4g)\n",
 		rep.Current.ModeledCost, rep.Recommended.ModeledCost)
+
+	// Reallocation-aware advice: the same question with a nonzero beta
+	// charges moves against the incumbent placement. The answer must
+	// echo the beta, and whatever it recommends must be applicable.
+	body, err = fetch(base, "/layout/advisor?table=orders&beta=1e-10")
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, &adv); err != nil {
+		return fmt.Errorf("/layout/advisor?beta: %w", err)
+	}
+	if len(adv.Reports) != 1 || adv.Reports[0].Beta != 1e-10 {
+		return fmt.Errorf("/layout/advisor?beta did not echo beta: %s", body)
+	}
+	if err := tbl.ApplyLayout(tierdb.Layout{InDRAM: adv.Reports[0].Recommended.InDRAM}); err != nil {
+		return fmt.Errorf("beta recommendation not applicable: %w", err)
+	}
+	fmt.Println("/layout/advisor?beta=1e-10: reallocation-aware recommendation applied")
+
+	// The adaptive daemon ticks every 50ms; scrape its endpoint until at
+	// least one cycle has been accounted.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body, err = fetch(base, "/layout/adaptive")
+		if err != nil {
+			return err
+		}
+		var rep tierdb.AdaptiveReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			return fmt.Errorf("/layout/adaptive: %w", err)
+		}
+		if !rep.Enabled {
+			return fmt.Errorf("/layout/adaptive reports the daemon disabled: %s", body)
+		}
+		if rep.Cycles >= 1 {
+			fmt.Printf("/layout/adaptive: %d cycles, %d applies, %d skips\n",
+				rep.Cycles, rep.Applies, rep.Skips)
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/layout/adaptive never completed a cycle: %s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	return nil
 }
 

@@ -176,6 +176,11 @@ func statsReport(snap metrics.Snapshot) string {
 			snap.Counters["merge.failures"],
 			snap.Gauges["delta.active_rows"].Value, snap.Gauges["delta.frozen_rows"].Value)
 	}
+	if cycles := snap.Counters["adaptive.cycles"]; cycles > 0 {
+		fmt.Fprintf(&b, "adaptive placement: %d cycles (%d applies, %d skips, %d errors); %d bytes moved\n",
+			cycles, snap.Counters["adaptive.applies"], snap.Counters["adaptive.skips"],
+			snap.Counters["adaptive.errors"], snap.Counters["adaptive.moved_bytes"])
+	}
 	if reqs := snap.Counters["server.requests_total"]; reqs > 0 || snap.Gauges["server.sessions"].Value > 0 {
 		fmt.Fprintf(&b, "server: %d requests (%d rejects, %d errors); %d sessions, %d inflight\n",
 			reqs, snap.Counters["server.rejects"], snap.Counters["server.errors"],

@@ -41,6 +41,9 @@ type Server struct {
 	// Tables lists table names, used when /layout/advisor is asked to
 	// advise everything.
 	Tables func() []string
+	// Adaptive reports the adaptive placement scheduler's state and last
+	// per-table decisions (/layout/adaptive).
+	Adaptive func() *AdaptiveReport
 }
 
 // AdvisorQuery carries the /layout/advisor knobs.
@@ -56,6 +59,59 @@ type AdvisorQuery struct {
 	// needs before the advisor trusts its EWMA over the static
 	// estimate. Zero selects the default.
 	MinSamples int
+	// Beta, when > 0, makes the advisor solve the reallocation-aware
+	// problem (paper formulation (6)-(7)): moving a byte between tiers
+	// costs Beta, with the table's current layout as y. Zero keeps the
+	// classic placement-from-scratch advice.
+	Beta float64
+}
+
+// AdaptiveReport is the /layout/adaptive answer: the daemon's
+// configuration, lifetime totals and the last decision per table.
+type AdaptiveReport struct {
+	Enabled         bool    `json:"enabled"`
+	IntervalNs      int64   `json:"interval_ns"`
+	Alpha           float64 `json:"alpha,omitempty"`
+	Beta            float64 `json:"beta,omitempty"`
+	BudgetBytes     int64   `json:"budget_bytes,omitempty"`
+	MinGain         float64 `json:"min_gain"`
+	MaxMoveFraction float64 `json:"max_move_fraction"`
+	CooldownCycles  int     `json:"cooldown_cycles"`
+	Cycles          uint64  `json:"cycles"`
+	Applies         uint64  `json:"applies"`
+	Skips           uint64  `json:"skips"`
+	Errors          uint64  `json:"errors"`
+	MovedBytes      int64   `json:"moved_bytes"`
+	// Tables holds the most recent decision per table, sorted by name.
+	Tables []AdaptiveDecision `json:"tables,omitempty"`
+}
+
+// AdaptiveDecision records what the adaptive scheduler decided for one
+// table in one cycle, and why.
+type AdaptiveDecision struct {
+	Table string `json:"table"`
+	Cycle uint64 `json:"cycle"`
+	// Action is "applied", "skipped" or "error"; Reason says why.
+	Action string `json:"action"`
+	Reason string `json:"reason"`
+	// WindowQueries is the total query frequency of the closed window
+	// the decision was based on.
+	WindowQueries float64 `json:"window_queries"`
+	// CurrentCost and RecommendedCost are the modeled objectives of
+	// the present and recommended placements under that window: the
+	// scan cost F(x), plus alpha*M(x) when the daemon runs the penalty
+	// form (DRAM rent is part of what it minimizes there).
+	CurrentCost     float64 `json:"current_cost,omitempty"`
+	RecommendedCost float64 `json:"recommended_cost,omitempty"`
+	// Improvement is (current-recommended)/current.
+	Improvement float64 `json:"improvement,omitempty"`
+	// MovedBytes is how many column bytes the recommendation relocates.
+	MovedBytes  int64  `json:"moved_bytes,omitempty"`
+	SolveNs     int64  `json:"solve_ns,omitempty"`
+	Current     []bool `json:"current,omitempty"`
+	Recommended []bool `json:"recommended,omitempty"`
+	// CooldownLeft is how many cycles of flip-back cooldown remain.
+	CooldownLeft int `json:"cooldown_left,omitempty"`
 }
 
 // TableWorkload is the /workload report for one table: the captured
@@ -128,6 +184,7 @@ type AdvisorReport struct {
 	Method          string          `json:"method"`
 	BudgetBytes     int64           `json:"budget_bytes"`
 	RelativeBudget  float64         `json:"relative_budget,omitempty"`
+	Beta            float64         `json:"beta,omitempty"`
 	MinSamples      int             `json:"min_samples"`
 	ObservedColumns int             `json:"observed_columns"`
 	Queries         float64         `json:"queries"`
@@ -149,6 +206,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/traces", s.serveTraces)
 	mux.HandleFunc("/workload", s.serveWorkload)
 	mux.HandleFunc("/layout/advisor", s.serveAdvisor)
+	mux.HandleFunc("/layout/adaptive", s.serveAdaptive)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -168,7 +226,8 @@ func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
   /stats.json         raw metrics snapshot (JSON)
   /traces             recent query traces (?slow=1 ?n=20 ?format=text)
   /workload           captured workload: plans, access counts, selectivities
-  /layout/advisor     layout recommendation (?table= ?budget= ?w= ?min_samples=)
+  /layout/advisor     layout recommendation (?table= ?budget= ?w= ?min_samples= ?beta=)
+  /layout/adaptive    adaptive placement scheduler: last decisions + reasons
   /debug/pprof/       runtime profiles
 `)
 }
@@ -310,6 +369,14 @@ func (s *Server) serveAdvisor(w http.ResponseWriter, r *http.Request) {
 		}
 		q.MinSamples = n
 	}
+	if v := qs.Get("beta"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			http.Error(w, "bad beta (want beta >= 0)", http.StatusBadRequest)
+			return
+		}
+		q.Beta = f
+	}
 	names := []string{}
 	if t := qs.Get("table"); t != "" {
 		names = append(names, t)
@@ -333,6 +400,14 @@ func (s *Server) serveAdvisor(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		Reports []*AdvisorReport `json:"reports"`
 	}{reports})
+}
+
+func (s *Server) serveAdaptive(w http.ResponseWriter, r *http.Request) {
+	if s.Adaptive == nil {
+		http.Error(w, "no adaptive scheduler", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.Adaptive())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -63,7 +63,24 @@ func testServer() *Server {
 				CostDelta:   -40,
 				Improvement: 0.4,
 				Changed:     true,
+				Beta:        q.Beta,
 			}, nil
+		},
+		Adaptive: func() *AdaptiveReport {
+			return &AdaptiveReport{
+				Enabled: true,
+				Alpha:   4e-9,
+				Beta:    2e-10,
+				Cycles:  7,
+				Applies: 2,
+				Skips:   5,
+				Tables: []AdaptiveDecision{{
+					Table:  "orders",
+					Cycle:  7,
+					Action: "skipped",
+					Reason: "layout already optimal",
+				}},
+			}
 		},
 	}
 }
@@ -235,6 +252,43 @@ func TestServeAdvisor(t *testing.T) {
 	if code, _ := get(t, ts, "/layout/advisor?w=2"); code != http.StatusBadRequest {
 		t.Errorf("bad w accepted: status %d", code)
 	}
+
+	// Reallocation-aware advice: beta is parsed and echoed.
+	code, body = get(t, ts, "/layout/advisor?table=orders&beta=2e-10")
+	if code != http.StatusOK {
+		t.Fatalf("beta advisor: status %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Reports) != 1 || reply.Reports[0].Beta != 2e-10 {
+		t.Errorf("beta not echoed: %+v", reply.Reports)
+	}
+	if code, _ := get(t, ts, "/layout/advisor?beta=-1"); code != http.StatusBadRequest {
+		t.Errorf("negative beta accepted: status %d", code)
+	}
+	if code, _ := get(t, ts, "/layout/advisor?beta=junk"); code != http.StatusBadRequest {
+		t.Errorf("junk beta accepted: status %d", code)
+	}
+}
+
+func TestServeAdaptive(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/layout/adaptive")
+	if code != http.StatusOK {
+		t.Fatalf("/layout/adaptive: status %d: %s", code, body)
+	}
+	var rep AdaptiveReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Enabled || rep.Cycles != 7 || rep.Applies != 2 || rep.Skips != 5 {
+		t.Errorf("adaptive report round-trip: %+v", rep)
+	}
+	if len(rep.Tables) != 1 || rep.Tables[0].Reason != "layout already optimal" {
+		t.Errorf("adaptive decisions: %+v", rep.Tables)
+	}
 }
 
 func TestServePprofAndIndex(t *testing.T) {
@@ -258,7 +312,7 @@ func TestServePprofAndIndex(t *testing.T) {
 func TestNilSources(t *testing.T) {
 	ts := httptest.NewServer((&Server{}).Handler())
 	defer ts.Close()
-	for _, path := range []string{"/metrics", "/stats.json", "/traces", "/workload", "/layout/advisor"} {
+	for _, path := range []string{"/metrics", "/stats.json", "/traces", "/workload", "/layout/advisor", "/layout/adaptive"} {
 		if code, _ := get(t, ts, path); code != http.StatusNotFound {
 			t.Errorf("%s on empty server: status %d, want 404", path, code)
 		}

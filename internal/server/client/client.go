@@ -468,3 +468,31 @@ func (c *Client) ApplyLayout(table string, inDRAM []bool) error {
 	_, err := c.do(server.Request{Op: server.OpApplyLayout, Table: table, Layout: inDRAM})
 	return err
 }
+
+// AdaptiveStatus reports the adaptive placement scheduler's state and
+// last per-table decisions.
+func (c *Client) AdaptiveStatus() (*obsrv.AdaptiveReport, error) {
+	return c.adaptive(server.AdaptiveStatus)
+}
+
+// SetAdaptive turns the periodic adaptive placement loop on or off and
+// returns the resulting state.
+func (c *Client) SetAdaptive(enabled bool) (*obsrv.AdaptiveReport, error) {
+	sub := byte(server.AdaptiveDisable)
+	if enabled {
+		sub = server.AdaptiveEnable
+	}
+	return c.adaptive(sub)
+}
+
+func (c *Client) adaptive(sub byte) (*obsrv.AdaptiveReport, error) {
+	resp, err := c.do(server.Request{Op: server.OpAdaptive, Sub: sub})
+	if err != nil {
+		return nil, err
+	}
+	var rep obsrv.AdaptiveReport
+	if err := json.Unmarshal(resp.Blob, &rep); err != nil {
+		return nil, fmt.Errorf("client: parse adaptive report: %w", err)
+	}
+	return &rep, nil
+}

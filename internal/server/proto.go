@@ -51,6 +51,14 @@ const (
 	OpTables      = 11 // -> names[]
 	OpAdvise      = 12 // table, JSON AdvisorQuery -> JSON AdvisorReport
 	OpApplyLayout = 13 // table, inDRAM[] -> empty
+	OpAdaptive    = 14 // subcommand -> JSON AdaptiveReport
+)
+
+// OpAdaptive subcommands.
+const (
+	AdaptiveStatus  = 0 // report only
+	AdaptiveEnable  = 1 // turn the periodic loop on, then report
+	AdaptiveDisable = 2 // turn the periodic loop off, then report
 )
 
 // Response status codes. Everything except StatusOK carries a message
@@ -115,6 +123,7 @@ type Request struct {
 	Traced     bool            // OpSelect
 	Blob       []byte          // OpAdvise (JSON query)
 	Layout     []bool          // OpApplyLayout
+	Sub        byte            // OpAdaptive subcommand
 }
 
 // Response is the decoded form of any response frame; which fields are
@@ -228,6 +237,8 @@ func encodeRequest(buf []byte, req Request) []byte {
 			}
 			buf = append(buf, b)
 		}
+	case OpAdaptive:
+		buf = append(buf, req.Sub)
 	}
 	return buf
 }
@@ -250,7 +261,7 @@ func encodeResponse(buf []byte, op byte, resp Response) []byte {
 			buf = appendRow(buf, row)
 		}
 		buf = appendString(buf, resp.Trace)
-	case OpStats, OpAdvise:
+	case OpStats, OpAdvise, OpAdaptive:
 		buf = appendBytes(buf, resp.Blob)
 	case OpRows:
 		buf = binary.AppendUvarint(buf, resp.Count)
@@ -608,6 +619,13 @@ func decodeRequest(payload []byte) (Request, error) {
 			}
 			req.Layout = append(req.Layout, b == 1)
 		}
+	case OpAdaptive:
+		if req.Sub, err = r.byte(); err != nil {
+			return Request{}, err
+		}
+		if req.Sub > AdaptiveDisable {
+			return Request{}, fmt.Errorf("%w: unknown adaptive subcommand %d", ErrProtocol, req.Sub)
+		}
 	default:
 		return Request{}, fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op)
 	}
@@ -664,7 +682,7 @@ func DecodeResponse(op byte, payload []byte) (Response, error) {
 		if resp.Trace, err = r.string(); err != nil {
 			return Response{}, err
 		}
-	case OpStats, OpAdvise:
+	case OpStats, OpAdvise, OpAdaptive:
 		if resp.Blob, err = r.lenBytes(); err != nil {
 			return Response{}, err
 		}

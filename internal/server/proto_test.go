@@ -43,6 +43,9 @@ func sampleRequests() []Request {
 		{Op: OpRows, Table: "orders"},
 		{Op: OpAdvise, Table: "orders", Blob: []byte(`{"budget_bytes":1024}`)},
 		{Op: OpApplyLayout, Table: "orders", Layout: []bool{true, false, true}},
+		{Op: OpAdaptive, Sub: AdaptiveStatus},
+		{Op: OpAdaptive, Sub: AdaptiveEnable},
+		{Op: OpAdaptive, Sub: AdaptiveDisable},
 	}
 }
 
@@ -116,6 +119,7 @@ func TestResponseRoundtrip(t *testing.T) {
 		}},
 		{OpStats, Response{Blob: []byte(`{"counters":{}}`)}},
 		{OpAdvise, Response{Blob: []byte(`{"table":"t"}`)}},
+		{OpAdaptive, Response{Blob: []byte(`{"enabled":true}`)}},
 		{OpRows, Response{Count: 123456}},
 		{OpTables, Response{Names: []string{"a", "b"}}},
 	}

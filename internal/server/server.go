@@ -60,6 +60,10 @@ type Engine interface {
 	// (obsrv.AdvisorQuery / obsrv.AdvisorReport).
 	Advise(table string, query []byte) ([]byte, error)
 	ApplyLayout(table string, inDRAM []bool) error
+	// Adaptive inspects or toggles the adaptive placement scheduler
+	// (AdaptiveStatus/Enable/Disable); the report is JSON
+	// (obsrv.AdaptiveReport).
+	Adaptive(sub byte) ([]byte, error)
 }
 
 // Config tunes the service layer. The zero value selects the defaults.
@@ -364,6 +368,12 @@ func (s *Server) handle(req Request) Response {
 		if err := s.engine.ApplyLayout(req.Table, req.Layout); err != nil {
 			return fail(err)
 		}
+	case OpAdaptive:
+		blob, err := s.engine.Adaptive(req.Sub)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Blob: blob}
 	default:
 		return Response{Status: StatusBadRequest, Msg: fmt.Sprintf("unknown opcode %d", req.Op)}
 	}

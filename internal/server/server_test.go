@@ -138,6 +138,10 @@ func (e *fakeEngine) Advise(table string, query []byte) ([]byte, error) {
 
 func (e *fakeEngine) ApplyLayout(table string, inDRAM []bool) error { return nil }
 
+func (e *fakeEngine) Adaptive(sub byte) ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"enabled":%v}`, sub == server.AdaptiveEnable)), nil
+}
+
 // boot starts a server over the fake engine on a random loopback port.
 func boot(t *testing.T, e server.Engine, cfg server.Config) (*server.Server, string) {
 	t.Helper()

@@ -53,11 +53,19 @@ func (h *History) CurrentPlans() []Plan {
 
 // CloseWindow freezes the current window into the history and starts a
 // new one. The oldest window is dropped beyond capacity.
-func (h *History) CloseWindow() {
+func (h *History) CloseWindow() { h.Rotate() }
+
+// Rotate closes the current window exactly like CloseWindow and returns
+// the frozen window's distinct plans (descending count). The adaptive
+// placement scheduler uses it to consume "the workload since the last
+// cycle" in one step instead of CurrentPlans+CloseWindow, which would
+// drop every Record landing between the two calls.
+func (h *History) Rotate() []Plan {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	snapshot := make(map[string]Plan)
-	for _, p := range h.current.Plans() {
+	plans := h.current.Plans()
+	snapshot := make(map[string]Plan, len(plans))
+	for _, p := range plans {
 		snapshot[planKey(p.Columns)] = p
 	}
 	h.windows = append(h.windows, snapshot)
@@ -65,6 +73,7 @@ func (h *History) CloseWindow() {
 		h.windows = h.windows[len(h.windows)-h.capacity:]
 	}
 	h.current = NewPlanCache()
+	return plans
 }
 
 // Windows returns the number of closed windows.

@@ -114,6 +114,13 @@ func planKey(sorted []int) string {
 // statistics (sizes, selectivities) and the recorded plans. Columns
 // listed in pinned are marked Pinned (e.g. primary keys under an SLA).
 func Extract(tbl *table.Table, pc *PlanCache, pinned []int) (*core.Workload, error) {
+	return ExtractPlans(tbl, pc.Plans(), pinned)
+}
+
+// ExtractPlans is Extract over an explicit plan list instead of a live
+// cache — the shape a closed history window (History.Rotate) hands the
+// adaptive placement scheduler.
+func ExtractPlans(tbl *table.Table, plans []Plan, pinned []int) (*core.Workload, error) {
 	s := tbl.Schema()
 	cols := make([]core.Column, s.Len())
 	for i := 0; i < s.Len(); i++ {
@@ -132,7 +139,6 @@ func Extract(tbl *table.Table, pc *PlanCache, pinned []int) (*core.Workload, err
 		}
 		cols[p].Pinned = true
 	}
-	plans := pc.Plans()
 	queries := make([]core.Query, 0, len(plans))
 	for _, p := range plans {
 		for _, c := range p.Columns {

@@ -45,6 +45,7 @@ func (db *DB) Observability() *obsrv.Server {
 			}
 			return t.Advise(q)
 		},
+		Adaptive: db.AdaptiveStatus,
 	}
 }
 
@@ -150,9 +151,11 @@ func planInfos(plans []workload.Plan, name func(int) string) []obsrv.PlanInfo {
 // current placement. Columns with at least MinSamples runtime
 // selectivity observations feed the model their EWMA instead of the
 // static estimate. A zero BudgetBytes advises within the current
-// modeled DRAM footprint — "could these bytes be spent better". The
-// recommendation applies verbatim via
-// ApplyLayout(Layout{InDRAM: rep.Recommended.InDRAM}).
+// modeled DRAM footprint — "could these bytes be spent better". A
+// nonzero Beta charges reallocation costs (formulation (6)-(7)): the
+// current layout becomes y and moving a byte between tiers costs Beta,
+// so marginal wins no longer justify churn. The recommendation applies
+// verbatim via ApplyLayout(Layout{InDRAM: rep.Recommended.InDRAM}).
 func (t *Table) Advise(q AdvisorQuery) (*AdvisorReport, error) {
 	w, err := workload.Extract(t.inner, t.plans, nil)
 	if err != nil {
@@ -183,7 +186,11 @@ func (t *Table) Advise(q AdvisorQuery) (*AdvisorReport, error) {
 	if budget == 0 {
 		budget = core.MemoryUsed(w, current)
 	}
-	alloc, err := core.ExplicitForBudget(w, costs, budget, nil, 0)
+	var warm []bool
+	if q.Beta > 0 {
+		warm = current
+	}
+	alloc, err := core.ExplicitForBudget(w, costs, budget, warm, q.Beta)
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +211,7 @@ func (t *Table) Advise(q AdvisorQuery) (*AdvisorReport, error) {
 		Method:          MethodExplicit.String(),
 		BudgetBytes:     budget,
 		RelativeBudget:  q.RelativeBudget,
+		Beta:            q.Beta,
 		MinSamples:      minSamples,
 		ObservedColumns: observed,
 		Queries:         queries,

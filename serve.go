@@ -177,3 +177,16 @@ func (e dbEngine) ApplyLayout(table string, inDRAM []bool) error {
 	}
 	return t.ApplyLayout(Layout{InDRAM: inDRAM})
 }
+
+func (e dbEngine) Adaptive(sub byte) ([]byte, error) {
+	switch sub {
+	case server.AdaptiveEnable:
+		e.db.SetAdaptive(true)
+	case server.AdaptiveDisable:
+		e.db.SetAdaptive(false)
+	case server.AdaptiveStatus:
+	default:
+		return nil, fmt.Errorf("tierdb: unknown adaptive subcommand %d", sub)
+	}
+	return json.Marshal(e.db.AdaptiveStatus())
+}

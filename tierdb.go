@@ -170,6 +170,36 @@ type Config struct {
 	// requests before force-closing their sessions; 0 selects
 	// server.DefaultDrainTimeout. Ignored without ListenAddr.
 	DrainTimeout time.Duration
+	// AdaptiveInterval, when > 0, turns on self-driving placement: the
+	// adaptive scheduler rotates each table's workload window every
+	// interval, re-solves the explicit column selection model with
+	// reallocation costs (y = current layout) and applies the result
+	// online, gated by hysteresis guardrails. 0 leaves periodic
+	// adaptation off; DB.AdaptOnce, DB.SetAdaptive and the wire
+	// protocol's adaptive opcode work regardless.
+	AdaptiveInterval time.Duration
+	// AdaptiveAlpha, when > 0, makes the daemon solve the penalty form
+	// F(x) + alpha*M(x) (alpha = DRAM price per byte-second) instead of
+	// the hard-budget form — the placement breathes with the workload.
+	AdaptiveAlpha float64
+	// AdaptiveBeta is the reallocation cost per moved byte (paper
+	// formulation (6)-(7)); higher values make placements stickier. 0
+	// re-solves from scratch each cycle.
+	AdaptiveBeta float64
+	// AdaptiveBudget caps each table's DRAM bytes in the hard-budget
+	// form; 0 re-solves within the table's current modeled footprint.
+	// Ignored when AdaptiveAlpha > 0.
+	AdaptiveBudget int64
+	// AdaptiveMinGain is the minimum relative modeled-cost improvement
+	// a re-solve must promise before its layout is applied; 0 selects
+	// DefaultAdaptiveMinGain.
+	AdaptiveMinGain float64
+	// AdaptiveMaxMove caps the fraction of a table's bytes one cycle
+	// may relocate; 0 selects DefaultAdaptiveMaxMove.
+	AdaptiveMaxMove float64
+	// AdaptiveCooldown is how many cycles a table sits out after a
+	// flip-back apply; 0 selects DefaultAdaptiveCooldown.
+	AdaptiveCooldown int
 
 	// walFS overrides the log's filesystem; tests inject the
 	// crash-injection FS here. Nil selects the real OS filesystem.
@@ -194,6 +224,7 @@ type DB struct {
 	registry *metrics.Registry
 	tables   map[string]*Table
 	sched    *mergeScheduler
+	adapt    *adaptiveScheduler
 	wal      *wal.Log
 	ckptMu   sync.Mutex
 
@@ -276,6 +307,7 @@ func Open(cfg Config) (*DB, error) {
 		}
 	}
 	db.sched = startMergeScheduler(db, cfg)
+	db.adapt = startAdaptiveScheduler(db, cfg)
 	db.srv = server.New(dbEngine{db}, server.Config{
 		MaxSessions:  cfg.MaxSessions,
 		MaxInflight:  cfg.MaxInflight,
@@ -416,11 +448,11 @@ func (db *DB) Tables() []string {
 // Close shuts the instance down in dependency order: first the network
 // service layer drains (stop accepting, answer stragglers with
 // ErrDraining, wait for inflight requests to finish), then the
-// observability servers stop, the background merge scheduler winds down
-// (waiting for an in-flight merge), the write-ahead log syncs and
-// closes, and finally the underlying page store is released. Draining
-// before the scheduler and WAL is what guarantees no network request is
-// mid-commit when the log closes.
+// observability servers stop, the adaptive placement and merge
+// schedulers wind down (waiting for an in-flight cycle or merge), the
+// write-ahead log syncs and closes, and finally the underlying page
+// store is released. Draining before the schedulers and WAL is what
+// guarantees no network request is mid-commit when the log closes.
 func (db *DB) Close() error {
 	db.srv.Shutdown()
 	db.obsMu.Lock()
@@ -430,6 +462,7 @@ func (db *DB) Close() error {
 	for _, srv := range srvs {
 		srv.Close()
 	}
+	db.adapt.shutdown()
 	db.sched.shutdown()
 	if db.wal != nil {
 		if err := db.wal.Close(); err != nil {
