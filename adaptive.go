@@ -195,6 +195,15 @@ func (s *adaptiveScheduler) cycle() {
 			s.cErr.Inc()
 		}
 		s.mu.Unlock()
+		switch d.Action {
+		case "applied":
+			s.db.log.Info("adaptive placement applied",
+				"table", d.Table, "cycle", cycle, "moved_bytes", d.MovedBytes,
+				"improvement", d.Improvement, "reason", d.Reason)
+		case "error":
+			s.db.log.Warn("adaptive placement error",
+				"table", d.Table, "cycle", cycle, "reason", d.Reason)
+		}
 	}
 }
 
@@ -309,7 +318,9 @@ func (s *adaptiveScheduler) adaptTable(t *Table, cycle uint64) AdaptiveDecision 
 		// Seal the WAL-logged layout DDL with a checkpoint, like a
 		// scheduled merge does; a failed checkpoint only means recovery
 		// replays a longer log.
-		_ = s.db.Checkpoint()
+		if err := s.db.Checkpoint(); err != nil {
+			s.db.log.Warn("post-adapt checkpoint failed", "table", d.Table, "err", err)
+		}
 	}
 	return d
 }

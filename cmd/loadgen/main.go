@@ -33,6 +33,7 @@ import (
 	"tierdb"
 	"tierdb/internal/server"
 	"tierdb/internal/server/client"
+	"tierdb/internal/trace"
 )
 
 const tableName = "load"
@@ -53,6 +54,7 @@ type opts struct {
 	preload     int
 	checkpoints bool
 	mergeRows   int
+	sampleRate  float64
 }
 
 func main() {
@@ -66,6 +68,7 @@ func main() {
 	flag.IntVar(&o.preload, "preload", 10_000, "rows bulk-loaded before the timed run")
 	flag.BoolVar(&o.checkpoints, "checkpoints", false, "issue periodic checkpoints (needs a WAL-backed server)")
 	flag.IntVar(&o.mergeRows, "merge-rows", 20_000, "selftest: delta rows that trigger background merges")
+	flag.Float64Var(&o.sampleRate, "trace-sample-rate", 0.01, "fraction of requests traced end to end [0,1]")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -141,7 +144,24 @@ func run(o opts) error {
 // workload runs the timed closed loop and the live accounting check.
 // It returns the number of acknowledged inserts.
 func workload(o opts) (int64, error) {
-	c, err := client.Dial(client.Config{Addr: o.addr, PoolSize: o.pool})
+	// The client-side tracer samples requests end to end; the slowest
+	// traced request's trace ID goes into the final report so it can be
+	// pulled up as a span tree via /trace/{id} on the server's
+	// observability endpoints.
+	tracer := trace.New(trace.Options{SampleRate: o.sampleRate})
+	var slowMu sync.Mutex
+	var slowest *trace.Span
+	tracer.SetOnEnd(func(s *trace.Span) {
+		if s.Name != "client.send" {
+			return
+		}
+		slowMu.Lock()
+		if slowest == nil || s.Duration() > slowest.Duration() {
+			slowest = s
+		}
+		slowMu.Unlock()
+	})
+	c, err := client.Dial(client.Config{Addr: o.addr, PoolSize: o.pool, Tracer: tracer})
 	if err != nil {
 		return 0, err
 	}
@@ -252,6 +272,12 @@ func workload(o opts) (int64, error) {
 			merged.quantile(0.50), merged.quantile(0.95),
 			merged.quantile(0.99), merged.quantile(1.0))
 	}
+	slowMu.Lock()
+	if slowest != nil {
+		fmt.Printf("slowest traced request: %s in %s, trace %s (GET /trace/%s on the observability server)\n",
+			slowest.Name, slowest.Duration(), slowest.Trace, slowest.Trace)
+	}
+	slowMu.Unlock()
 	if f := failures.Load(); f > 0 {
 		return acked.Load(), fmt.Errorf("%d request failures (first: %s)", f, firstErr)
 	}

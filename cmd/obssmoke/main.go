@@ -9,11 +9,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"tierdb"
@@ -92,14 +94,35 @@ func run() error {
 	if err := obsrv.ValidateExposition(exposition); err != nil {
 		return fmt.Errorf("/metrics failed the exposition parser: %w", err)
 	}
-	fmt.Printf("/metrics: %d bytes of valid exposition\n", len(exposition))
+	for _, series := range []string{"tierdb_build_info{", "tierdb_uptime_seconds "} {
+		if !bytes.Contains(exposition, []byte(series)) {
+			return fmt.Errorf("/metrics missing the %s series", series)
+		}
+	}
+	fmt.Printf("/metrics: %d bytes of valid exposition (build info + uptime present)\n", len(exposition))
+
+	body, err := fetch(base, "/healthz")
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(string(body)) != "ok" {
+		return fmt.Errorf("/healthz answered %q, want ok", body)
+	}
+	body, err = fetch(base, "/readyz")
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(string(body)) != "ready" {
+		return fmt.Errorf("/readyz answered %q, want ready", body)
+	}
+	fmt.Println("/healthz, /readyz: ok")
 
 	if _, err := fetch(base, "/debug/pprof/goroutine?debug=1"); err != nil {
 		return err
 	}
 	fmt.Println("/debug/pprof/goroutine: ok")
 
-	body, err := fetch(base, "/workload")
+	body, err = fetch(base, "/workload")
 	if err != nil {
 		return err
 	}

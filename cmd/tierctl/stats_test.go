@@ -33,6 +33,26 @@ func TestStatsGolden(t *testing.T) {
 	}
 }
 
+// TestStatsSummaryLines pins the derived summary lines the fixture is
+// expected to exercise — in particular the adaptive-placement and
+// server lines, which only render when their instruments are present.
+// A careless -update that dropped them from the fixture would pass the
+// byte-for-byte golden check; this guard would still fail.
+func TestStatsSummaryLines(t *testing.T) {
+	out, err := renderStatsFile(filepath.Join("testdata", "stats_snapshot.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"adaptive placement: 12 cycles (3 applies, 8 skips, 1 errors); 65536 bytes moved",
+		"server: 400 requests (5 rejects, 2 errors); 4 sessions, 1 inflight",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats report missing summary line %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestStatsRendersRawSnapshot accepts a bare snapshot (no benchrunner
 // wrapper) too.
 func TestStatsRendersRawSnapshot(t *testing.T) {

@@ -34,19 +34,14 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on shutdown")
 		mergeRows    = flag.Int("merge-rows", 0, "delta rows that trigger a background merge (0: off)")
 		mergeBytes   = flag.Int64("merge-bytes", 0, "delta bytes that trigger a background merge (0: off)")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		logFormat    = flag.String("log-format", "text", "log encoding: text or json")
+		requestLog   = flag.Bool("request-log", false, "emit one structured event per network request")
+		sampleRate   = flag.Float64("trace-sample-rate", 0, "fraction of requests traced end to end [0,1]")
 	)
 	flag.Parse()
-	if err := run(*listen, *obs, *waldir, *sync, *device, *cacheFrames,
-		*parallelism, *maxSessions, *maxInflight, *drainTimeout, *mergeRows, *mergeBytes); err != nil {
-		fmt.Fprintln(os.Stderr, "tierdbd:", err)
-		os.Exit(1)
-	}
-}
-
-func run(listen, obs, waldir, sync, device string, cacheFrames, parallelism,
-	maxSessions, maxInflight int, drainTimeout time.Duration, mergeRows int, mergeBytes int64) error {
 	var policy tierdb.SyncPolicy
-	switch sync {
+	switch *sync {
 	case "always":
 		policy = tierdb.SyncAlways
 	case "group":
@@ -54,32 +49,44 @@ func run(listen, obs, waldir, sync, device string, cacheFrames, parallelism,
 	case "off":
 		policy = tierdb.SyncOff
 	default:
-		return fmt.Errorf("unknown -sync %q (want always, group or off)", sync)
+		fmt.Fprintf(os.Stderr, "tierdbd: unknown -sync %q (want always, group or off)\n", *sync)
+		os.Exit(1)
 	}
-
-	db, err := tierdb.Open(tierdb.Config{
-		Device:          device,
-		CacheFrames:     cacheFrames,
-		Parallelism:     parallelism,
-		WALDir:          waldir,
+	cfg := tierdb.Config{
+		Device:          *device,
+		CacheFrames:     *cacheFrames,
+		Parallelism:     *parallelism,
+		WALDir:          *waldir,
 		SyncPolicy:      policy,
-		ListenAddr:      listen,
-		ObsAddr:         obs,
-		MaxSessions:     maxSessions,
-		MaxInflight:     maxInflight,
-		DrainTimeout:    drainTimeout,
-		MergeDeltaRows:  mergeRows,
-		MergeDeltaBytes: mergeBytes,
-	})
+		ListenAddr:      *listen,
+		ObsAddr:         *obs,
+		MaxSessions:     *maxSessions,
+		MaxInflight:     *maxInflight,
+		DrainTimeout:    *drainTimeout,
+		MergeDeltaRows:  *mergeRows,
+		MergeDeltaBytes: *mergeBytes,
+		LogLevel:        *logLevel,
+		LogFormat:       *logFormat,
+		RequestLog:      *requestLog,
+		TraceSampleRate: *sampleRate,
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "tierdbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg tierdb.Config) error {
+	db, err := tierdb.Open(cfg)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("tierdbd: serving on %s\n", db.ServerAddr())
-	if obs != "" {
+	if cfg.ObsAddr != "" {
 		fmt.Printf("tierdbd: observability on %s\n", db.ObsURL())
 	}
-	if waldir == "" {
+	if cfg.WALDir == "" {
 		fmt.Println("tierdbd: WARNING: no -waldir, data is volatile")
 	}
 

@@ -10,6 +10,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"tierdb/internal/mvcc"
 	"tierdb/internal/storage"
 	"tierdb/internal/table"
+	"tierdb/internal/trace"
 	"tierdb/internal/value"
 )
 
@@ -242,10 +244,19 @@ func (e *Executor) chargeTouches(tr *metrics.Trace, n int) {
 // read at the latest snapshot). When a trace ring is configured, the
 // query is captured exactly like RunTraced.
 func (e *Executor) Run(q Query, tx *mvcc.Tx) (*Result, error) {
-	if e.recent == nil && e.slow == nil {
+	return e.RunCtx(context.Background(), q, tx)
+}
+
+// RunCtx is Run with a context. A sampled request span carried by ctx
+// (see tierdb/internal/trace) gets an "exec.query" child whose
+// children mirror the executed operators — one span per filter
+// application and per materialize/visibility pass, with morsel fan-out
+// recorded as an attribute.
+func (e *Executor) RunCtx(ctx context.Context, q Query, tx *mvcc.Tx) (*Result, error) {
+	if e.recent == nil && e.slow == nil && trace.FromContext(ctx) == nil {
 		return e.run(q, tx, nil)
 	}
-	res, _, err := e.RunTraced(q, tx)
+	res, _, err := e.RunTracedCtx(ctx, q, tx)
 	return res, err
 }
 
@@ -258,6 +269,12 @@ func (e *Executor) Run(q Query, tx *mvcc.Tx) (*Result, error) {
 // configured, the trace also enters the recent ring (and the slow ring
 // if the wall-clock duration reaches the slow-query threshold).
 func (e *Executor) RunTraced(q Query, tx *mvcc.Tx) (*Result, *metrics.Trace, error) {
+	return e.RunTracedCtx(context.Background(), q, tx)
+}
+
+// RunTracedCtx is RunTraced with a context; see RunCtx for the span
+// family a sampled request span receives.
+func (e *Executor) RunTracedCtx(ctx context.Context, q Query, tx *mvcc.Tx) (*Result, *metrics.Trace, error) {
 	tr := &metrics.Trace{
 		Table:          e.tbl.Name(),
 		Parallelism:    e.parallelism,
@@ -266,15 +283,54 @@ func (e *Executor) RunTraced(q Query, tx *mvcc.Tx) (*Result, *metrics.Trace, err
 	if timed, ok := e.tbl.Store().(*storage.TimedStore); ok {
 		tr.Device = timed.Profile().Name
 	}
+	span := trace.FromContext(ctx).Child("exec.query", trace.String("table", e.tbl.Name()))
 	start := time.Now()
+	if span != nil {
+		// Anchor operator intervals at the span's own start so children
+		// never precede their parent by a clock read.
+		tr.StartNs = span.StartNs
+	} else {
+		tr.StartNs = start.UnixNano()
+	}
 	res, err := e.run(q, tx, tr)
-	e.capture(tr, start, time.Since(start), err)
+	e.capture(tr, start, time.Since(start), err, span)
+	emitSpans(span, tr, err)
 	return res, tr, err
+}
+
+// emitSpans converts a finished query's operator intervals into child
+// spans of the request trace and closes the "exec.query" span. No-op
+// on a nil (unsampled) span.
+func emitSpans(span *trace.Span, tr *metrics.Trace, err error) {
+	if span == nil {
+		return
+	}
+	for i := range tr.Operators {
+		op := &tr.Operators[i]
+		attrs := make([]trace.Attr, 0, 5)
+		attrs = append(attrs,
+			trace.String("partition", op.Partition),
+			trace.Int("rows_in", int64(op.RowsIn)),
+			trace.Int("rows_out", int64(op.RowsOut)))
+		if op.Path != "" {
+			attrs = append(attrs, trace.String("path", op.Path))
+		}
+		if op.Morsels > 0 {
+			attrs = append(attrs, trace.Int("morsels", int64(op.Morsels)))
+		}
+		span.ChildAt("exec."+op.Name, op.StartNs, op.EndNs, attrs...)
+	}
+	span.SetAttr(
+		trace.Int("rows", int64(tr.RowsQualified)),
+		trace.Int("dram_ns", tr.DRAMNs),
+		trace.Int("device_ns", tr.DeviceNs))
+	span.SetError(err)
+	span.End()
 }
 
 // capture publishes a finished query's trace into the recent ring and,
 // past the slow-query threshold, the slow ring. No-op without rings.
-func (e *Executor) capture(tr *metrics.Trace, start time.Time, wall time.Duration, err error) {
+func (e *Executor) capture(tr *metrics.Trace, start time.Time, wall time.Duration, err error, span *trace.Span) {
 	if e.recent == nil && e.slow == nil {
 		return
 	}
@@ -283,6 +339,9 @@ func (e *Executor) capture(tr *metrics.Trace, start time.Time, wall time.Duratio
 		UnixNano: start.UnixNano(),
 		WallNs:   int64(wall),
 		Trace:    tr,
+	}
+	if span != nil {
+		entry.TraceID = span.Trace.String()
 	}
 	if err != nil {
 		entry.Err = err.Error()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -256,7 +257,7 @@ func ciRecovery(seed int64, s *schema.Schema, registry *metrics.Registry) (time.
 			value.NewInt(int64(i % 10_000)),
 			value.NewInt(int64(i % 7)),
 		}}}
-		if _, err := log.AppendCommit(func() mvcc.Timestamp { ts++; return ts }, ops); err != nil {
+		if _, err := log.AppendCommit(context.Background(), func() mvcc.Timestamp { ts++; return ts }, ops); err != nil {
 			return 0, err
 		}
 	}

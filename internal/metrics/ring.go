@@ -20,6 +20,10 @@ type TraceEntry struct {
 	// Err carries the query's error text when it failed (the trace is
 	// then partially filled).
 	Err string `json:"err,omitempty"`
+	// TraceID links the entry to its distributed trace (16 hex digits)
+	// when the query ran under a sampled request span; /trace/{id} on
+	// the observability server resolves it to the full span tree.
+	TraceID string `json:"trace_id,omitempty"`
 	// Trace is the per-query execution trace.
 	Trace *Trace `json:"trace"`
 }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Trace records what one query execution actually did: the filter
@@ -42,6 +43,14 @@ type Trace struct {
 	DeviceNs int64 `json:"device_ns"`
 	// PageReads is the number of timed secondary-storage page reads.
 	PageReads int64 `json:"page_reads"`
+	// StartNs is the query's wall-clock start (unix nanos); the first
+	// operator's interval opens here. Set by the executor.
+	StartNs int64 `json:"start_ns,omitempty"`
+
+	// prevNs is the end of the last recorded operator; the next
+	// operator's interval opens here so back-to-back operators tile the
+	// query's wall time without gaps.
+	prevNs int64
 }
 
 // PredicateTrace records one predicate's position in the chosen filter
@@ -86,13 +95,39 @@ type OperatorTrace struct {
 	// Morsels is the number of work units the operator fanned out
 	// (0 on the serial path).
 	Morsels int `json:"morsels,omitempty"`
+	// StartNs and EndNs bound the operator's wall-clock interval (unix
+	// nanos). Operators are recorded at phase barriers by the driving
+	// goroutine, so the interval opens at the previous operator's end
+	// (or the query start) and closes at record time.
+	StartNs int64 `json:"start_ns,omitempty"`
+	EndNs   int64 `json:"end_ns,omitempty"`
 }
 
-// Op appends an executed operator (no-op on nil).
+// Op appends an executed operator (no-op on nil), stamping its
+// wall-clock interval unless the caller set one explicitly.
 func (t *Trace) Op(op OperatorTrace) {
-	if t != nil {
-		t.Operators = append(t.Operators, op)
+	if t == nil {
+		return
 	}
+	now := time.Now().UnixNano()
+	if op.StartNs == 0 {
+		switch {
+		case t.prevNs != 0:
+			op.StartNs = t.prevNs
+		case t.StartNs != 0:
+			op.StartNs = t.StartNs
+		default:
+			op.StartNs = now
+		}
+	}
+	if op.EndNs == 0 {
+		op.EndNs = now
+	}
+	if op.EndNs < op.StartNs {
+		op.EndNs = op.StartNs
+	}
+	t.prevNs = op.EndNs
+	t.Operators = append(t.Operators, op)
 }
 
 // Predicate appends one entry of the chosen filter ordering (no-op on

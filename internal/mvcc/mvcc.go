@@ -8,12 +8,14 @@
 package mvcc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
 
 	"tierdb/internal/metrics"
+	"tierdb/internal/trace"
 )
 
 // Timestamp is a commit timestamp. Snapshot isolation: a transaction
@@ -200,24 +202,38 @@ func (m *Manager) allocLocked(t *Tx) Timestamp {
 }
 
 // Commit makes the transaction durable (when a log is configured) and
-// publishes its writes under the commit gate. The timestamp is
+// publishes its writes under the commit gate. It is CommitCtx without
+// a trace context.
+func (m *Manager) Commit(t *Tx) (Timestamp, error) {
+	return m.CommitCtx(context.Background(), t)
+}
+
+// CommitCtx makes the transaction durable (when a log is configured)
+// and publishes its writes under the commit gate. The timestamp is
 // allocated inside the log's append critical section, so log order
 // equals commit order. If the log append fails the transaction is
 // rolled back and the error returned: nothing was acknowledged, nothing
 // becomes visible.
-func (m *Manager) Commit(t *Tx) (Timestamp, error) {
+//
+// When ctx carries a trace span, the durable part of the commit is
+// recorded as a "wal.commit" child span (with "wal.append"/"wal.fsync"
+// grandchildren from the log itself).
+func (m *Manager) CommitCtx(ctx context.Context, t *Tx) (Timestamp, error) {
 	if t.status != Active {
 		return 0, ErrTxFinished
 	}
 	m.gate.RLock()
 	var ts Timestamp
 	if m.dur != nil && len(t.redo) > 0 {
+		span := trace.FromContext(ctx).Child("wal.commit", trace.Int("redo_ops", int64(len(t.redo))))
 		allocated := false
-		_, err := m.dur.AppendCommit(func() Timestamp {
+		_, err := m.dur.AppendCommit(trace.NewContext(ctx, span), func() Timestamp {
 			ts = m.allocLocked(t)
 			allocated = true
 			return ts
 		}, t.redo)
+		span.SetError(err)
+		span.End()
 		if err != nil {
 			m.gate.RUnlock()
 			if !allocated {
@@ -244,21 +260,29 @@ func (m *Manager) Commit(t *Tx) (Timestamp, error) {
 	return ts, nil
 }
 
-// BulkCommit allocates one commit timestamp for a non-transactional
+// BulkCommit is BulkCommitCtx without a trace context.
+func (m *Manager) BulkCommit(ops []RedoOp, apply func(ts Timestamp) error) (Timestamp, error) {
+	return m.BulkCommitCtx(context.Background(), ops, apply)
+}
+
+// BulkCommitCtx allocates one commit timestamp for a non-transactional
 // bulk write, logs ops (when durability is configured) and runs apply
 // with the timestamp — all under the commit gate, so a concurrent
 // checkpoint either sees the rows applied or replays their log record,
 // never neither.
-func (m *Manager) BulkCommit(ops []RedoOp, apply func(ts Timestamp) error) (Timestamp, error) {
+func (m *Manager) BulkCommitCtx(ctx context.Context, ops []RedoOp, apply func(ts Timestamp) error) (Timestamp, error) {
 	m.gate.RLock()
 	defer m.gate.RUnlock()
 	var ts Timestamp
 	if m.dur != nil && len(ops) > 0 {
-		var err error
-		if _, err = m.dur.AppendCommit(func() Timestamp {
+		span := trace.FromContext(ctx).Child("wal.commit", trace.Int("redo_ops", int64(len(ops))))
+		_, err := m.dur.AppendCommit(trace.NewContext(ctx, span), func() Timestamp {
 			ts = m.allocLocked(nil)
 			return ts
-		}, ops); err != nil {
+		}, ops)
+		span.SetError(err)
+		span.End()
+		if err != nil {
 			return 0, err
 		}
 	} else {

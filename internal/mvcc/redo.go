@@ -1,6 +1,10 @@
 package mvcc
 
-import "tierdb/internal/value"
+import (
+	"context"
+
+	"tierdb/internal/value"
+)
 
 // RedoOp is one logical write captured for the write-ahead log: enough
 // to re-apply the effect of a committed transaction on restart. Deletes
@@ -23,6 +27,8 @@ type RedoOp struct {
 // timestamp order.
 type Durability interface {
 	// AppendCommit logs one transaction's redo ops under the timestamp
-	// returned by alloc and returns that timestamp.
-	AppendCommit(alloc func() Timestamp, ops []RedoOp) (Timestamp, error)
+	// returned by alloc and returns that timestamp. ctx carries the
+	// request's trace span (if any); implementations attach their
+	// append/fsync child spans to it.
+	AppendCommit(ctx context.Context, alloc func() Timestamp, ops []RedoOp) (Timestamp, error)
 }

@@ -1,6 +1,7 @@
 package mvcc
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -16,7 +17,7 @@ type fakeLog struct {
 	fail error
 }
 
-func (f *fakeLog) AppendCommit(alloc func() Timestamp, ops []RedoOp) (Timestamp, error) {
+func (f *fakeLog) AppendCommit(_ context.Context, alloc func() Timestamp, ops []RedoOp) (Timestamp, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.fail != nil {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"tierdb/internal/metrics"
+	"tierdb/internal/trace"
 )
 
 // Server holds the data sources the HTTP handlers render. Every field
@@ -44,6 +45,29 @@ type Server struct {
 	// Adaptive reports the adaptive placement scheduler's state and last
 	// per-table decisions (/layout/adaptive).
 	Adaptive func() *AdaptiveReport
+	// Spans is the distributed-trace span ring behind /trace/{id}; it
+	// also attaches span trees to /traces entries that carry a trace ID.
+	Spans *trace.Ring
+	// Ready reports readiness for /readyz: WAL recovery finished and
+	// the instance is accepting work. Nil answers 404 (not wired).
+	Ready func() bool
+	// Build reports build metadata for the tierdb_build_info series on
+	// /metrics. Nil omits the series.
+	Build func() BuildInfo
+	// Uptime reports process uptime for tierdb_uptime_seconds on
+	// /metrics. Nil omits the series.
+	Uptime func() time.Duration
+}
+
+// BuildInfo is the metadata behind the tierdb_build_info gauge: the
+// series always has value 1, the interesting bits ride in labels.
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for plain builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS revision, when stamped into the build.
+	Revision string `json:"revision,omitempty"`
 }
 
 // AdvisorQuery carries the /layout/advisor knobs.
@@ -204,6 +228,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/stats.json", s.serveStatsJSON)
 	mux.HandleFunc("/traces", s.serveTraces)
+	mux.HandleFunc("/trace/", s.serveTrace)
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	mux.HandleFunc("/readyz", s.serveReadyz)
 	mux.HandleFunc("/workload", s.serveWorkload)
 	mux.HandleFunc("/layout/advisor", s.serveAdvisor)
 	mux.HandleFunc("/layout/adaptive", s.serveAdaptive)
@@ -225,6 +252,9 @@ func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
   /metrics            Prometheus text exposition
   /stats.json         raw metrics snapshot (JSON)
   /traces             recent query traces (?slow=1 ?n=20 ?format=text)
+  /trace/{id}         one distributed trace as a span tree (?format=text)
+  /healthz            liveness probe (always ok while serving)
+  /readyz             readiness probe (recovery finished, accepting work)
   /workload           captured workload: plans, access counts, selectivities
   /layout/advisor     layout recommendation (?table= ?budget= ?w= ?min_samples= ?beta=)
   /layout/adaptive    adaptive placement scheduler: last decisions + reasons
@@ -239,6 +269,12 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(RenderPrometheus(s.Snapshot()))
+	if s.Build != nil {
+		w.Write(RenderBuildInfo(s.Build()))
+	}
+	if s.Uptime != nil {
+		w.Write(RenderUptime(s.Uptime()))
+	}
 }
 
 func (s *Server) serveStatsJSON(w http.ResponseWriter, r *http.Request) {
@@ -251,11 +287,45 @@ func (s *Server) serveStatsJSON(w http.ResponseWriter, r *http.Request) {
 
 // tracesReply is the JSON shape of /traces.
 type tracesReply struct {
-	Ring            string                `json:"ring"`
-	Capacity        int                   `json:"capacity"`
-	Added           uint64                `json:"added"`
-	SlowThresholdNs int64                 `json:"slow_threshold_ns,omitempty"`
-	Entries         []*metrics.TraceEntry `json:"entries"`
+	Ring            string       `json:"ring"`
+	Capacity        int          `json:"capacity"`
+	Added           uint64       `json:"added"`
+	SlowThresholdNs int64        `json:"slow_threshold_ns,omitempty"`
+	Entries         []traceEntry `json:"entries"`
+}
+
+// traceEntry is one /traces entry: the captured query trace plus, when
+// the query ran under a distributed trace whose spans are still in the
+// ring, the whole span tree with the slowest path identified.
+type traceEntry struct {
+	*metrics.TraceEntry
+	// Spans is the distributed trace's span tree (all roots).
+	Spans []*trace.Node `json:"spans,omitempty"`
+	// SlowestPath lists the span IDs on the slowest root-to-leaf chain
+	// of the first root — the operations that dominated latency.
+	SlowestPath []trace.SpanID `json:"slowest_path,omitempty"`
+}
+
+// attachSpans resolves an entry's trace ID against the span ring.
+func (s *Server) attachSpans(e *metrics.TraceEntry) traceEntry {
+	out := traceEntry{TraceEntry: e}
+	if s.Spans == nil || e.TraceID == "" {
+		return out
+	}
+	id, err := trace.ParseTraceID(e.TraceID)
+	if err != nil {
+		return out
+	}
+	spans := s.Spans.ByTrace(id)
+	if len(spans) == 0 {
+		return out
+	}
+	out.Spans = trace.BuildTree(spans)
+	for id := range trace.SlowestPath(out.Spans[0]) {
+		out.SlowestPath = append(out.SlowestPath, id)
+	}
+	sort.Slice(out.SlowestPath, func(i, j int) bool { return out.SlowestPath[i] < out.SlowestPath[j] })
+	return out
 }
 
 func (s *Server) serveTraces(w http.ResponseWriter, r *http.Request) {
@@ -267,16 +337,20 @@ func (s *Server) serveTraces(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "trace capture not enabled", http.StatusNotFound)
 		return
 	}
-	entries := ring.Snapshot()
+	raw := ring.Snapshot()
 	if v := r.URL.Query().Get("n"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
 			http.Error(w, "bad n", http.StatusBadRequest)
 			return
 		}
-		if n < len(entries) {
-			entries = entries[:n]
+		if n < len(raw) {
+			raw = raw[:n]
 		}
+	}
+	entries := make([]traceEntry, 0, len(raw))
+	for _, e := range raw {
+		entries = append(entries, s.attachSpans(e))
 	}
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -286,12 +360,18 @@ func (s *Server) serveTraces(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "\n#%d %s wall=%s", e.Seq,
 				time.Unix(0, e.UnixNano).UTC().Format(time.RFC3339Nano),
 				time.Duration(e.WallNs))
+			if e.TraceID != "" {
+				fmt.Fprintf(w, " trace=%s", e.TraceID)
+			}
 			if e.Err != "" {
 				fmt.Fprintf(w, " err=%q", e.Err)
 			}
 			fmt.Fprintln(w)
 			if e.Trace != nil {
 				fmt.Fprintln(w, e.Trace.String())
+			}
+			if len(e.Spans) > 0 {
+				fmt.Fprint(w, trace.RenderText(e.Spans, trace.SlowestPath(e.Spans[0])))
 			}
 		}
 		return

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"tierdb/internal/metrics"
 )
@@ -60,6 +61,32 @@ func RenderPrometheus(s metrics.Snapshot) []byte {
 		fmt.Fprintf(&b, "%s_sum %d\n", m, h.Sum)
 		fmt.Fprintf(&b, "%s_count %d\n", m, inf)
 	}
+	return b.Bytes()
+}
+
+// RenderBuildInfo renders the tierdb_build_info series: a constant 1
+// whose labels carry the build metadata, the conventional Prometheus
+// shape for joining version info onto other series.
+func RenderBuildInfo(bi BuildInfo) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# HELP tierdb_build_info Build metadata; value is always 1.\n")
+	fmt.Fprintf(&b, "# TYPE tierdb_build_info gauge\n")
+	// %q covers the exposition format's label-value escapes (backslash,
+	// quote, newline); build metadata has no other control characters.
+	fmt.Fprintf(&b, "tierdb_build_info{version=%q,goversion=%q", bi.Version, bi.GoVersion)
+	if bi.Revision != "" {
+		fmt.Fprintf(&b, ",revision=%q", bi.Revision)
+	}
+	fmt.Fprintf(&b, "} 1\n")
+	return b.Bytes()
+}
+
+// RenderUptime renders the tierdb_uptime_seconds gauge.
+func RenderUptime(d time.Duration) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# HELP tierdb_uptime_seconds Seconds since the instance opened.\n")
+	fmt.Fprintf(&b, "# TYPE tierdb_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "tierdb_uptime_seconds %g\n", d.Seconds())
 	return b.Bytes()
 }
 

@@ -30,6 +30,7 @@ import (
 	"tierdb/internal/obsrv"
 	"tierdb/internal/schema"
 	"tierdb/internal/server"
+	"tierdb/internal/trace"
 	"tierdb/internal/value"
 )
 
@@ -51,6 +52,14 @@ type Config struct {
 	// senders block (bounded, client-side). 0 selects
 	// DefaultMaxPipeline.
 	MaxPipeline int
+	// Tracer enables client-side tracing: sampled requests get a
+	// "client.send" span and carry their trace ID to the server in the
+	// wire header, so the server's spans join the same /trace/{id}
+	// tree. Nil disables tracing. Peers that predate the header are
+	// detected on first contact and the header is dropped for the rest
+	// of the client's life (see the OpTraced compat rules in
+	// internal/server/proto.go).
+	Tracer *trace.Tracer
 }
 
 // Defaults for Config's zero values.
@@ -69,6 +78,9 @@ var ErrClosed = errors.New("client: closed")
 type Client struct {
 	cfg  Config
 	next atomic.Uint64
+	// legacy is set once a peer rejects the OpTraced envelope as an
+	// unknown opcode; from then on requests go out header-less.
+	legacy atomic.Bool
 
 	mu     sync.Mutex
 	conns  []*conn // fixed length PoolSize; nil slots dial on demand
@@ -152,13 +164,63 @@ func (c *Client) pick() (*conn, error) {
 	return fresh, nil
 }
 
-// do runs one request round-trip on a pooled connection.
+// do runs one request round-trip on a pooled connection, tracing it
+// when the client has a sampling tracer configured.
 func (c *Client) do(req server.Request) (server.Response, error) {
+	span := c.startSpan(req)
+	if span != nil {
+		req.TraceID, req.SpanID = span.Trace, span.ID
+	}
+	resp, err := c.do1(req)
+	if req.TraceID != 0 && resp.Status == server.StatusBadRequest && errors.Is(err, server.ErrProtocol) {
+		// The peer may predate the trace header (OpTraced decodes as an
+		// unknown opcode there). StatusBadRequest guarantees the
+		// operation did not execute, so retrying header-less is safe —
+		// for any opcode. If the bare retry gets past decoding, the
+		// header was the problem: remember the peer is legacy and stop
+		// sending it.
+		req.TraceID, req.SpanID = 0, 0
+		resp, err = c.do1(req)
+		if resp.Status != server.StatusBadRequest {
+			c.legacy.Store(true)
+		}
+	}
+	c.finishSpan(span, resp, err)
+	return resp, err
+}
+
+// do1 runs one request round-trip on a pooled connection.
+func (c *Client) do1(req server.Request) (server.Response, error) {
 	cn, err := c.pick()
 	if err != nil {
 		return server.Response{}, err
 	}
 	return cn.do(req, c.cfg.RequestTimeout)
+}
+
+// startSpan makes the client-side sampling decision for one request.
+func (c *Client) startSpan(req server.Request) *trace.Span {
+	if c.cfg.Tracer == nil || c.legacy.Load() {
+		return nil
+	}
+	span := c.cfg.Tracer.Start("client.send", trace.String("op", server.OpName(req.Op)))
+	if span != nil && req.Table != "" {
+		span.SetAttr(trace.String("table", req.Table))
+	}
+	return span
+}
+
+// finishSpan completes a request's client span.
+func (c *Client) finishSpan(span *trace.Span, resp server.Response, err error) {
+	if span == nil {
+		return
+	}
+	if err != nil {
+		span.SetError(err)
+	} else {
+		span.SetAttr(trace.Int("rows", int64(len(resp.IDs))))
+	}
+	span.End()
 }
 
 // result is what the read loop delivers to a waiting caller.

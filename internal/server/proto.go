@@ -29,6 +29,7 @@ import (
 	"math"
 
 	"tierdb/internal/schema"
+	"tierdb/internal/trace"
 	"tierdb/internal/value"
 )
 
@@ -52,6 +53,21 @@ const (
 	OpAdvise      = 12 // table, JSON AdvisorQuery -> JSON AdvisorReport
 	OpApplyLayout = 13 // table, inDRAM[] -> empty
 	OpAdaptive    = 14 // subcommand -> JSON AdaptiveReport
+
+	// OpTraced is not an operation: it is the optional trace-header
+	// envelope. Its payload is
+	//
+	//	[OpTraced][uvarint TraceID][uvarint parent SpanID][inner request payload]
+	//
+	// where the inner payload is any ordinary request (opcode first).
+	// Framing is untouched, so the header is backward-compatible by
+	// construction: an old server decodes OpTraced as an unknown opcode
+	// inside a CRC-valid frame — a payload-level error that answers
+	// StatusBadRequest and leaves the stream aligned — and the client
+	// falls back to header-less requests for that connection. Old
+	// clients simply never send the envelope. Both directions are
+	// proven by the compat roundtrip tests.
+	OpTraced = 15
 )
 
 // OpAdaptive subcommands.
@@ -124,6 +140,13 @@ type Request struct {
 	Blob       []byte          // OpAdvise (JSON query)
 	Layout     []bool          // OpApplyLayout
 	Sub        byte            // OpAdaptive subcommand
+
+	// TraceID and SpanID are the optional trace header (the OpTraced
+	// envelope): the originating trace and the sender's span, which
+	// the server's span will link to as its parent. TraceID 0 means
+	// untraced — the envelope is omitted on the wire.
+	TraceID trace.TraceID
+	SpanID  trace.SpanID
 }
 
 // Response is the decoded form of any response frame; which fields are
@@ -172,8 +195,14 @@ func appendRow(buf []byte, row []value.Value) []byte {
 	return buf
 }
 
-// encodeRequest appends the request payload (opcode byte first).
+// encodeRequest appends the request payload (opcode byte first). A
+// nonzero TraceID prefixes the payload with the OpTraced envelope.
 func encodeRequest(buf []byte, req Request) []byte {
+	if req.TraceID != 0 {
+		buf = append(buf, OpTraced)
+		buf = binary.AppendUvarint(buf, uint64(req.TraceID))
+		buf = binary.AppendUvarint(buf, uint64(req.SpanID))
+	}
 	buf = append(buf, req.Op)
 	switch req.Op {
 	case OpPing, OpCheckpoint, OpStats, OpTables:
@@ -290,6 +319,14 @@ func writeFrame(w io.Writer, payload []byte) error {
 // WriteRequest frames and writes one request payload.
 func WriteRequest(w io.Writer, req Request) error {
 	return writeFrame(w, encodeRequest(make([]byte, 0, 64), req))
+}
+
+// WriteResponse frames and writes one response for the given request
+// opcode. The server uses this path internally; it is exported so
+// alternative server implementations (and protocol tests) can answer
+// clients without reimplementing the codec.
+func WriteResponse(w io.Writer, op byte, resp Response) error {
+	return writeFrame(w, encodeResponse(make([]byte, 0, 64), op, resp))
 }
 
 // DecodeBareResponse decodes a response payload received outside any
@@ -464,6 +501,27 @@ func decodeRequest(payload []byte) (Request, error) {
 		return Request{}, err
 	}
 	req := Request{Op: op}
+	if op == OpTraced {
+		id, err := r.uvarint()
+		if err != nil {
+			return Request{}, err
+		}
+		if id == 0 {
+			return Request{}, fmt.Errorf("%w: zero trace id in header", ErrProtocol)
+		}
+		span, err := r.uvarint()
+		if err != nil {
+			return Request{}, err
+		}
+		req.TraceID, req.SpanID = trace.TraceID(id), trace.SpanID(span)
+		if op, err = r.byte(); err != nil {
+			return Request{}, err
+		}
+		if op == OpTraced {
+			return Request{}, fmt.Errorf("%w: nested trace header", ErrProtocol)
+		}
+		req.Op = op
+	}
 	switch op {
 	case OpPing, OpCheckpoint, OpStats, OpTables:
 		// no body

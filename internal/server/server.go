@@ -27,8 +27,10 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -36,22 +38,28 @@ import (
 
 	"tierdb/internal/metrics"
 	"tierdb/internal/schema"
+	"tierdb/internal/telemetry"
+	"tierdb/internal/trace"
 	"tierdb/internal/value"
 )
 
 // Engine is the surface the service layer needs from the database. The
 // tierdb root package adapts *tierdb.DB to it; tests substitute fakes.
 // Implementations must be safe for concurrent use.
+//
+// Every method receives the request's context, which carries the
+// server span when the request is traced; engines propagate it into
+// execution and WAL commit so their spans land in the same tree.
 type Engine interface {
-	CreateTable(name string, fields []schema.Field) error
-	Insert(table string, row []value.Value) error
-	Delete(table string, id uint64) error
-	Update(table string, id uint64, row []value.Value) error
-	BulkLoad(table string, rows [][]value.Value) error
+	CreateTable(ctx context.Context, name string, fields []schema.Field) error
+	Insert(ctx context.Context, table string, row []value.Value) error
+	Delete(ctx context.Context, table string, id uint64) error
+	Update(ctx context.Context, table string, id uint64, row []value.Value) error
+	BulkLoad(ctx context.Context, table string, rows [][]value.Value) error
 	// Select runs a conjunctive query; trace is non-empty when traced
 	// execution was requested.
-	Select(table string, preds []Predicate, project []string, traced bool) (*Result, string, error)
-	Checkpoint() error
+	Select(ctx context.Context, table string, preds []Predicate, project []string, traced bool) (*Result, string, error)
+	Checkpoint(ctx context.Context) error
 	// StatsJSON returns the engine metrics snapshot as JSON.
 	StatsJSON() ([]byte, error)
 	Rows(table string) (int, error)
@@ -89,6 +97,17 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Registry receives the server.* instruments; nil runs unmetered.
 	Registry *metrics.Registry
+	// Tracer records server spans: one "server.request" span per
+	// request, continuing the client's trace when the request carries
+	// the wire header, locally sampled otherwise. Nil disables server
+	// tracing.
+	Tracer *trace.Tracer
+	// Logger receives server log records; nil discards them.
+	Logger *slog.Logger
+	// RequestLog, when set, emits one structured "wide event" per
+	// request on Logger: trace ID, opcode, table, rows, queue wait,
+	// duration and status — the greppable join key to /trace/{id}.
+	RequestLog bool
 }
 
 // Defaults for Config's zero values.
@@ -104,6 +123,8 @@ const (
 type Server struct {
 	engine   Engine
 	cfg      Config
+	tracer   *trace.Tracer
+	log      *slog.Logger
 	inflight chan struct{}
 
 	sessions  *metrics.Gauge
@@ -140,9 +161,15 @@ func New(engine Engine, cfg Config) *Server {
 		cfg.DrainTimeout = DefaultDrainTimeout
 	}
 	r := cfg.Registry
+	log := cfg.Logger
+	if log == nil {
+		log = telemetry.Nop()
+	}
 	return &Server{
 		engine:    engine,
 		cfg:       cfg,
+		tracer:    cfg.Tracer,
+		log:       log,
 		inflight:  make(chan struct{}, cfg.MaxInflight),
 		sessions:  r.Gauge("server.sessions"),
 		inflightG: r.Gauge("server.inflight"),
@@ -281,18 +308,48 @@ func (s *Server) session(conn net.Conn) {
 			}
 			continue
 		}
+		// The server span covers everything from decode to response:
+		// admission (inflight-wait) plus engine time. A request carrying
+		// the wire trace header continues the client's trace (sampling
+		// was decided upstream); a bare request gets a locally-sampled
+		// root span.
+		var span *trace.Span
+		if req.TraceID != 0 {
+			span = s.tracer.StartRemote(req.TraceID, req.SpanID, "server.request")
+		} else {
+			span = s.tracer.Start("server.request")
+		}
+		span.SetAttr(trace.String("op", OpName(req.Op)))
+		if req.Table != "" {
+			span.SetAttr(trace.String("table", req.Table))
+		}
+		admitted := time.Now()
 		select {
 		case s.inflight <- struct{}{}:
 		default:
 			s.rejects.Inc()
+			span.SetAttr(trace.String("status", statusName(StatusOverloaded)))
+			span.SetError(ErrOverloaded)
+			span.End()
+			s.requestEvent(span, req, StatusOverloaded, 0, 0, admitted)
 			if !respond(req.Op, Response{Status: StatusOverloaded, Msg: ErrOverloaded.Error()}) {
 				return
 			}
 			continue
 		}
+		// Admission is a try-acquire today, so the wait is the decode-to
+		// -acquire gap; the span still records it so a future queuing
+		// admission policy is observable for free.
+		queueWait := time.Since(admitted)
+		span.ChildAt("server.admission", admitted.UnixNano(), admitted.UnixNano()+queueWait.Nanoseconds())
 		s.inflightG.Add(1)
 		start := time.Now()
-		resp := s.handle(req)
+		engineSpan := span.Child("server.engine")
+		resp := s.handle(trace.NewContext(context.Background(), engineSpan), req)
+		if resp.Status != StatusOK {
+			engineSpan.SetError(errors.New(resp.Msg))
+		}
+		engineSpan.End()
 		s.requestNs.Observe(time.Since(start).Nanoseconds())
 		s.inflightG.Add(-1)
 		<-s.inflight
@@ -300,14 +357,107 @@ func (s *Server) session(conn net.Conn) {
 		if resp.Status != StatusOK {
 			s.errs.Inc()
 		}
+		rows := len(resp.IDs)
+		span.SetAttr(
+			trace.String("status", statusName(resp.Status)),
+			trace.Int("rows", int64(rows)),
+			trace.Int("queue_wait_ns", queueWait.Nanoseconds()),
+		)
+		if resp.Status != StatusOK {
+			span.SetError(errors.New(resp.Msg))
+		}
+		span.End()
+		s.requestEvent(span, req, resp.Status, rows, queueWait, admitted)
 		if !respond(req.Op, resp) {
 			return
 		}
 	}
 }
 
-// handle executes one decoded request against the engine.
-func (s *Server) handle(req Request) Response {
+// requestEvent emits the per-request wide event when Config.RequestLog
+// is set: one record joining the request's trace ID with what happened
+// to it. Failures log at Warn so they surface even at the default
+// level.
+func (s *Server) requestEvent(span *trace.Span, req Request, status byte, rows int, queueWait time.Duration, start time.Time) {
+	if !s.cfg.RequestLog {
+		return
+	}
+	traceID := req.TraceID
+	if span != nil {
+		traceID = span.Trace
+	}
+	level := slog.LevelInfo
+	if status != StatusOK {
+		level = slog.LevelWarn
+	}
+	s.log.LogAttrs(context.Background(), level, "request",
+		slog.String("trace_id", traceID.String()),
+		slog.String("op", OpName(req.Op)),
+		slog.String("table", req.Table),
+		slog.Int("rows", rows),
+		slog.Int64("queue_wait_ns", queueWait.Nanoseconds()),
+		slog.Int64("duration_ns", time.Since(start).Nanoseconds()),
+		slog.String("status", statusName(status)),
+	)
+}
+
+// OpName names a wire opcode for spans, logs and tooling.
+func OpName(op byte) string {
+	switch op {
+	case OpPing:
+		return "ping"
+	case OpCreateTable:
+		return "create_table"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpUpdate:
+		return "update"
+	case OpBulkLoad:
+		return "bulk_load"
+	case OpSelect:
+		return "select"
+	case OpCheckpoint:
+		return "checkpoint"
+	case OpStats:
+		return "stats"
+	case OpRows:
+		return "rows"
+	case OpTables:
+		return "tables"
+	case OpAdvise:
+		return "advise"
+	case OpApplyLayout:
+		return "apply_layout"
+	case OpAdaptive:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("op_%d", op)
+	}
+}
+
+// statusName names a wire status for spans and logs.
+func statusName(status byte) string {
+	switch status {
+	case StatusOK:
+		return "ok"
+	case StatusEngineErr:
+		return "engine_err"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusBadRequest:
+		return "bad_request"
+	case StatusDraining:
+		return "draining"
+	default:
+		return fmt.Sprintf("status_%d", status)
+	}
+}
+
+// handle executes one decoded request against the engine. ctx carries
+// the engine span for traced requests.
+func (s *Server) handle(ctx context.Context, req Request) Response {
 	fail := func(err error) Response {
 		return Response{Status: StatusEngineErr, Msg: err.Error()}
 	}
@@ -315,33 +465,33 @@ func (s *Server) handle(req Request) Response {
 	case OpPing:
 		return Response{}
 	case OpCreateTable:
-		if err := s.engine.CreateTable(req.Table, req.Fields); err != nil {
+		if err := s.engine.CreateTable(ctx, req.Table, req.Fields); err != nil {
 			return fail(err)
 		}
 	case OpInsert:
-		if err := s.engine.Insert(req.Table, req.Row); err != nil {
+		if err := s.engine.Insert(ctx, req.Table, req.Row); err != nil {
 			return fail(err)
 		}
 	case OpDelete:
-		if err := s.engine.Delete(req.Table, req.RowID); err != nil {
+		if err := s.engine.Delete(ctx, req.Table, req.RowID); err != nil {
 			return fail(err)
 		}
 	case OpUpdate:
-		if err := s.engine.Update(req.Table, req.RowID, req.Row); err != nil {
+		if err := s.engine.Update(ctx, req.Table, req.RowID, req.Row); err != nil {
 			return fail(err)
 		}
 	case OpBulkLoad:
-		if err := s.engine.BulkLoad(req.Table, req.Rows); err != nil {
+		if err := s.engine.BulkLoad(ctx, req.Table, req.Rows); err != nil {
 			return fail(err)
 		}
 	case OpSelect:
-		res, trace, err := s.engine.Select(req.Table, req.Predicates, req.Project, req.Traced)
+		res, trace, err := s.engine.Select(ctx, req.Table, req.Predicates, req.Project, req.Traced)
 		if err != nil {
 			return fail(err)
 		}
 		return Response{IDs: res.IDs, Rows: res.Rows, Trace: trace}
 	case OpCheckpoint:
-		if err := s.engine.Checkpoint(); err != nil {
+		if err := s.engine.Checkpoint(ctx); err != nil {
 			return fail(err)
 		}
 	case OpStats:

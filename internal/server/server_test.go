@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -38,7 +39,7 @@ func (e *fakeEngine) wait() {
 	}
 }
 
-func (e *fakeEngine) CreateTable(name string, fields []schema.Field) error {
+func (e *fakeEngine) CreateTable(_ context.Context, name string, fields []schema.Field) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.tables[name]; ok {
@@ -48,7 +49,7 @@ func (e *fakeEngine) CreateTable(name string, fields []schema.Field) error {
 	return nil
 }
 
-func (e *fakeEngine) Insert(table string, row []value.Value) error {
+func (e *fakeEngine) Insert(_ context.Context, table string, row []value.Value) error {
 	e.wait()
 	if e.fail.Load() {
 		return errors.New("injected failure")
@@ -63,7 +64,7 @@ func (e *fakeEngine) Insert(table string, row []value.Value) error {
 	return nil
 }
 
-func (e *fakeEngine) Delete(table string, id uint64) error {
+func (e *fakeEngine) Delete(_ context.Context, table string, id uint64) error {
 	e.wait()
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -75,7 +76,7 @@ func (e *fakeEngine) Delete(table string, id uint64) error {
 	return nil
 }
 
-func (e *fakeEngine) Update(table string, id uint64, row []value.Value) error {
+func (e *fakeEngine) Update(_ context.Context, table string, id uint64, row []value.Value) error {
 	e.wait()
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -87,7 +88,7 @@ func (e *fakeEngine) Update(table string, id uint64, row []value.Value) error {
 	return nil
 }
 
-func (e *fakeEngine) BulkLoad(table string, rows [][]value.Value) error {
+func (e *fakeEngine) BulkLoad(_ context.Context, table string, rows [][]value.Value) error {
 	e.wait()
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -95,7 +96,7 @@ func (e *fakeEngine) BulkLoad(table string, rows [][]value.Value) error {
 	return nil
 }
 
-func (e *fakeEngine) Select(table string, preds []server.Predicate, project []string, traced bool) (*server.Result, string, error) {
+func (e *fakeEngine) Select(_ context.Context, table string, preds []server.Predicate, project []string, traced bool) (*server.Result, string, error) {
 	e.wait()
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -117,8 +118,8 @@ func (e *fakeEngine) Select(table string, preds []server.Predicate, project []st
 	return res, trace, nil
 }
 
-func (e *fakeEngine) Checkpoint() error          { return nil }
-func (e *fakeEngine) StatsJSON() ([]byte, error) { return []byte(`{"counters":{"x":1}}`), nil }
+func (e *fakeEngine) Checkpoint(context.Context) error { return nil }
+func (e *fakeEngine) StatsJSON() ([]byte, error)       { return []byte(`{"counters":{"x":1}}`), nil }
 
 func (e *fakeEngine) Rows(table string) (int, error) {
 	e.mu.Lock()

@@ -1,0 +1,82 @@
+// Package telemetry is tierdb's structured logging layer: a thin,
+// opinionated construction of stdlib log/slog that every engine
+// component shares. Nothing in the library tree writes to os.Stderr
+// directly (CI enforces this with a grep lint); components log through
+// a *slog.Logger built here — leveled, JSON or text, with an
+// injectable sink so embedders and tests capture exactly what a
+// daemon would print.
+//
+// The flagship consumer is the per-request "wide event" the network
+// server emits behind Config.RequestLog: one log record per request
+// carrying the trace ID, opcode, table, row count, queue wait and
+// status, so a slow or failed request is greppable and joinable with
+// its /trace/{id} tree by a single ID.
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Options configures a logger. The zero value is a text logger at
+// Info level on os.Stderr.
+type Options struct {
+	// Level is the minimum level emitted: "debug", "info", "warn" or
+	// "error" (default "info").
+	Level string
+	// Format selects the handler: "text" (default) or "json".
+	Format string
+	// Sink receives the output (default os.Stderr).
+	Sink io.Writer
+}
+
+// New builds a logger from opts. Unknown level or format strings fall
+// back to the defaults rather than failing: a daemon with a typo'd
+// log flag should come up loud, not crash or come up silent.
+func New(opts Options) *slog.Logger {
+	sink := opts.Sink
+	if sink == nil {
+		sink = os.Stderr
+	}
+	h := &slog.HandlerOptions{Level: ParseLevel(opts.Level)}
+	var handler slog.Handler
+	if strings.EqualFold(opts.Format, "json") {
+		handler = slog.NewJSONHandler(sink, h)
+	} else {
+		handler = slog.NewTextHandler(sink, h)
+	}
+	return slog.New(handler)
+}
+
+// ParseLevel maps a level name to its slog.Level, case-insensitively;
+// unknown names (including "") map to Info.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// Nop returns a logger that discards everything — the default for
+// embedded engines that configured no logging. It still pays the
+// slog front-end cost only when a record's level passes Enabled,
+// which never happens.
+func Nop() *slog.Logger { return slog.New(nopHandler{}) }
+
+// nopHandler discards all records. (slog.DiscardHandler exists only
+// since Go 1.24; this keeps the module buildable on older releases.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

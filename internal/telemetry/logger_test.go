@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestTextLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(Options{Level: "warn", Sink: &buf})
+	log.Info("hidden")
+	log.Warn("shown", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info leaked through warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "shown") || !strings.Contains(out, "k=v") {
+		t.Errorf("warn record missing:\n%s", out)
+	}
+}
+
+func TestJSONLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(Options{Format: "json", Level: "debug", Sink: &buf})
+	log.Debug("event", slog.String("table", "t"), slog.Int64("rows", 7))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "event" || rec["table"] != "t" || rec["rows"] != float64(7) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "DEBUG": slog.LevelDebug,
+		"info": slog.LevelInfo, "": slog.LevelInfo, "bogus": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestDefaultsFallBack(t *testing.T) {
+	var buf bytes.Buffer
+	// Unknown format falls back to text rather than failing.
+	log := New(Options{Format: "xml", Sink: &buf})
+	log.Info("msg")
+	if !strings.Contains(buf.String(), "msg=") && !strings.Contains(buf.String(), `msg`) {
+		t.Errorf("fallback text output: %s", buf.String())
+	}
+}
+
+func TestNopDiscardsAndIsDisabled(t *testing.T) {
+	log := Nop()
+	if log.Enabled(nil, slog.LevelError) { //nolint:staticcheck // nil ctx fine for slog
+		t.Error("nop logger claims to be enabled")
+	}
+	log.Error("dropped", "k", "v") // must not panic
+	_ = log.With("a", 1).WithGroup("g")
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// attrKind discriminates an Attr's value type.
+type attrKind uint8
+
+const (
+	kindString attrKind = iota
+	kindInt
+	kindFloat
+	kindBool
+)
+
+// Attr is one typed span attribute. Values are stored unboxed — a
+// string plus one uint64 word carrying int64 bits, float64 bits or a
+// bool — so building attributes for a sampled span costs no interface
+// allocations.
+type Attr struct {
+	Key  string
+	kind attrKind
+	str  string
+	num  uint64
+}
+
+// String builds a string attribute.
+func String(key, v string) Attr { return Attr{Key: key, kind: kindString, str: v} }
+
+// Int builds an int64 attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, kind: kindInt, num: uint64(v)} }
+
+// Float builds a float64 attribute.
+func Float(key string, v float64) Attr {
+	return Attr{Key: key, kind: kindFloat, num: math.Float64bits(v)}
+}
+
+// Bool builds a bool attribute.
+func Bool(key string, v bool) Attr {
+	var n uint64
+	if v {
+		n = 1
+	}
+	return Attr{Key: key, kind: kindBool, num: n}
+}
+
+// Value returns the attribute's value boxed as any (for rendering).
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt:
+		return int64(a.num)
+	case kindFloat:
+		return math.Float64frombits(a.num)
+	case kindBool:
+		return a.num != 0
+	default:
+		return a.str
+	}
+}
+
+// String renders the attribute as key=value.
+func (a Attr) String() string {
+	switch a.kind {
+	case kindString:
+		return a.Key + "=" + a.str
+	default:
+		return fmt.Sprintf("%s=%v", a.Key, a.Value())
+	}
+}
+
+// MarshalJSON renders {"key": ..., "value": ...} with the value as its
+// native JSON type.
+func (a Attr) MarshalJSON() ([]byte, error) {
+	out := append([]byte(`{"key":`), strconv.AppendQuote(nil, a.Key)...)
+	out = append(out, `,"value":`...)
+	switch a.kind {
+	case kindInt:
+		out = strconv.AppendInt(out, int64(a.num), 10)
+	case kindFloat:
+		v, err := json.Marshal(math.Float64frombits(a.num))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	case kindBool:
+		out = strconv.AppendBool(out, a.num != 0)
+	default:
+		out = strconv.AppendQuote(out, a.str)
+	}
+	return append(out, '}'), nil
+}
+
+// UnmarshalJSON accepts the form produced by MarshalJSON.
+func (a *Attr) UnmarshalJSON(b []byte) error {
+	var raw struct {
+		Key   string `json:"key"`
+		Value any    `json:"value"`
+	}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	switch v := raw.Value.(type) {
+	case bool:
+		*a = Bool(raw.Key, v)
+	case float64:
+		if v == math.Trunc(v) && math.Abs(v) < 1<<53 {
+			*a = Int(raw.Key, int64(v))
+		} else {
+			*a = Float(raw.Key, v)
+		}
+	case string:
+		*a = String(raw.Key, v)
+	default:
+		*a = String(raw.Key, fmt.Sprint(v))
+	}
+	return nil
+}

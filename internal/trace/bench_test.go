@@ -1,0 +1,23 @@
+package trace
+
+import "testing"
+
+// BenchmarkTracingOverhead measures what tracing costs a request that
+// is (a) not traced at all, (b) considered but unsampled — the hot
+// production configuration, which must stay ~free — and (c) sampled,
+// paying for real span records.
+func BenchmarkTracingOverhead(b *testing.B) {
+	run := func(b *testing.B, tr *Tracer) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			span := tr.Start("bench.request", String("op", "select"))
+			child := span.Child("bench.child")
+			child.End()
+			span.SetAttr(Int("rows", 1))
+			span.End()
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("unsampled", func(b *testing.B) { run(b, New(Options{SampleRate: 0})) })
+	b.Run("sampled", func(b *testing.B) { run(b, New(Options{SampleRate: 1})) })
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Node is one span plus its children — the tree form served by
+// /trace/{id}.
+type Node struct {
+	Span     *Span   `json:"span"`
+	Children []*Node `json:"children,omitempty"`
+}
+
+// BuildTree assembles spans of one trace into parent-linked trees.
+// Spans whose parent is missing (aged out of the ring, or recorded by
+// another process) become roots; multiple roots are possible and
+// returned ordered by start time. Children are ordered by start time.
+func BuildTree(spans []*Span) []*Node {
+	nodes := make(map[SpanID]*Node, len(spans))
+	for _, s := range spans {
+		// On a duplicate span ID (ring mixing generations of a reused
+		// ID) the first — oldest by the caller's ordering — wins.
+		if _, ok := nodes[s.ID]; !ok {
+			nodes[s.ID] = &Node{Span: s}
+		}
+	}
+	var roots []*Node
+	for _, s := range spans {
+		n := nodes[s.ID]
+		if n.Span != s {
+			continue // duplicate dropped above
+		}
+		if p, ok := nodes[s.Parent]; ok && s.Parent != 0 && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	order := func(ns []*Node) {
+		sort.Slice(ns, func(a, b int) bool {
+			if ns[a].Span.StartNs != ns[b].Span.StartNs {
+				return ns[a].Span.StartNs < ns[b].Span.StartNs
+			}
+			return ns[a].Span.Seq < ns[b].Span.Seq
+		})
+	}
+	for _, n := range nodes {
+		order(n.Children)
+	}
+	order(roots)
+	return roots
+}
+
+// SlowestPath returns the span IDs on the slowest path from root: at
+// every level it descends into the child with the largest duration.
+// This is the chain /traces?slow=1 highlights — the sequence of
+// operations that dominated the request's latency.
+func SlowestPath(root *Node) map[SpanID]bool {
+	path := make(map[SpanID]bool)
+	for n := root; n != nil; {
+		path[n.Span.ID] = true
+		var next *Node
+		for _, c := range n.Children {
+			if next == nil || c.Span.Duration() > next.Span.Duration() {
+				next = c
+			}
+		}
+		n = next
+	}
+	return path
+}
+
+// RenderText renders trees as an indented text listing, one span per
+// line with duration, offset from the root start, attributes and error.
+// Spans whose ID is in highlight are marked with a leading '*' — the
+// slowest-path marker.
+func RenderText(roots []*Node, highlight map[SpanID]bool) string {
+	var b strings.Builder
+	for _, r := range roots {
+		renderNode(&b, r, r.Span.StartNs, 0, highlight)
+	}
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, baseNs int64, depth int, highlight map[SpanID]bool) {
+	mark := ' '
+	if highlight[n.Span.ID] {
+		mark = '*'
+	}
+	fmt.Fprintf(b, "%c %s%-*s %10s  +%s  [%s]",
+		mark, strings.Repeat("  ", depth), 24-2*depth, n.Span.Name,
+		n.Span.Duration(), time.Duration(n.Span.StartNs-baseNs), n.Span.ID)
+	for _, a := range n.Span.Attrs {
+		fmt.Fprintf(b, " %s", a)
+	}
+	if n.Span.Err != "" {
+		fmt.Fprintf(b, " err=%q", n.Span.Err)
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		renderNode(b, c, baseNs, depth+1, highlight)
+	}
+}

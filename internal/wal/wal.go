@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"tierdb/internal/metrics"
 	"tierdb/internal/mvcc"
 	"tierdb/internal/schema"
+	"tierdb/internal/trace"
 )
 
 // SyncPolicy selects when appended records become durable.
@@ -252,12 +254,29 @@ func (l *Log) flushLoop() {
 // redo ops as a single atomic commit record. alloc runs inside the
 // append critical section, so the commit-timestamp order of the log is
 // exactly its record order — replay never needs to sort.
-func (l *Log) AppendCommit(alloc func() mvcc.Timestamp, ops []mvcc.RedoOp) (mvcc.Timestamp, error) {
+//
+// A trace span in ctx gets "wal.append" and (under SyncAlways)
+// "wal.fsync" children, splitting a traced commit's latency into
+// serialization-under-lock and durability wait. The fsync child covers
+// the whole syncUpTo — including time spent waiting on a group-commit
+// leader — because that wait IS the request's durability latency.
+func (l *Log) AppendCommit(ctx context.Context, alloc func() mvcc.Timestamp, ops []mvcc.RedoOp) (mvcc.Timestamp, error) {
+	parent := trace.FromContext(ctx)
+	appendSpan := parent.Child("wal.append")
 	l.mu.Lock()
 	ts := alloc()
 	seq, err := l.appendLocked(Record{Kind: kindCommit, Ts: uint64(ts), Ops: ops})
 	l.mu.Unlock()
+	appendSpan.SetError(err)
+	appendSpan.End()
 	if err != nil {
+		return ts, err
+	}
+	if l.policy == SyncAlways {
+		fsyncSpan := parent.Child("wal.fsync")
+		err = l.syncUpTo(seq)
+		fsyncSpan.SetError(err)
+		fsyncSpan.End()
 		return ts, err
 	}
 	return ts, l.afterAppend(seq)

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -151,7 +152,7 @@ func TestLogAppendReplayRoundTrip(t *testing.T) {
 	if err := l.AppendCreateTable("orders", testRecords()[0].Fields); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.AppendCommit(alloc, testRecords()[1].Ops); err != nil {
+	if _, err := l.AppendCommit(context.Background(), alloc, testRecords()[1].Ops); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.AppendLayout("orders", []bool{true, false, true}); err != nil {
@@ -191,7 +192,7 @@ func TestSyncAlwaysSurvivesDroppedUnsynced(t *testing.T) {
 	var ts mvcc.Timestamp
 	alloc := func() mvcc.Timestamp { ts++; return ts }
 	for i := 0; i < 5; i++ {
-		if _, err := l.AppendCommit(alloc, []mvcc.RedoOp{{Table: "t", Row: []value.Value{value.NewInt(int64(i))}}}); err != nil {
+		if _, err := l.AppendCommit(context.Background(), alloc, []mvcc.RedoOp{{Table: "t", Row: []value.Value{value.NewInt(int64(i))}}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -215,7 +216,7 @@ func TestGroupFlusherSyncs(t *testing.T) {
 	defer l.Close()
 	var ts mvcc.Timestamp
 	alloc := func() mvcc.Timestamp { ts++; return ts }
-	if _, err := l.AppendCommit(alloc, []mvcc.RedoOp{{Table: "t", Row: []value.Value{value.NewInt(1)}}}); err != nil {
+	if _, err := l.AppendCommit(context.Background(), alloc, []mvcc.RedoOp{{Table: "t", Row: []value.Value{value.NewInt(1)}}}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -244,7 +245,7 @@ func TestCheckpointTruncatesLog(t *testing.T) {
 	var ts mvcc.Timestamp
 	alloc := func() mvcc.Timestamp { ts++; return ts }
 	for i := 0; i < 3; i++ {
-		if _, err := l.AppendCommit(alloc, []mvcc.RedoOp{{Table: "t", Row: []value.Value{value.NewInt(int64(i))}}}); err != nil {
+		if _, err := l.AppendCommit(context.Background(), alloc, []mvcc.RedoOp{{Table: "t", Row: []value.Value{value.NewInt(int64(i))}}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -265,7 +266,7 @@ func TestCheckpointTruncatesLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Post-checkpoint commit lands in the new segment.
-	if _, err := l.AppendCommit(alloc, []mvcc.RedoOp{{Table: "t", Row: []value.Value{value.NewInt(99)}}}); err != nil {
+	if _, err := l.AppendCommit(context.Background(), alloc, []mvcc.RedoOp{{Table: "t", Row: []value.Value{value.NewInt(99)}}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -314,13 +315,13 @@ func TestReplayTruncatesTornTail(t *testing.T) {
 	}
 	var ts mvcc.Timestamp
 	alloc := func() mvcc.Timestamp { ts++; return ts }
-	if _, err := l.AppendCommit(alloc, []mvcc.RedoOp{{Table: "t", Row: []value.Value{value.NewInt(1)}}}); err != nil {
+	if _, err := l.AppendCommit(context.Background(), alloc, []mvcc.RedoOp{{Table: "t", Row: []value.Value{value.NewInt(1)}}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.AppendCommit(alloc, []mvcc.RedoOp{{Table: "t", Row: []value.Value{value.NewInt(2)}}}); err != nil {
+	if _, err := l.AppendCommit(context.Background(), alloc, []mvcc.RedoOp{{Table: "t", Row: []value.Value{value.NewInt(2)}}}); err != nil {
 		t.Fatal(err)
 	}
 	// Crash with half the unsynced record on disk.

@@ -3,6 +3,9 @@ package tierdb
 import (
 	"net"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
 
 	"tierdb/internal/core"
 	"tierdb/internal/obsrv"
@@ -46,7 +49,32 @@ func (db *DB) Observability() *obsrv.Server {
 			return t.Advise(q)
 		},
 		Adaptive: db.AdaptiveStatus,
+		Spans:    db.tracer.Ring(),
+		Ready:    db.Ready,
+		Build:    buildInfo,
+		Uptime:   func() time.Duration { return time.Since(db.start) },
 	}
+}
+
+// buildInfo reads build metadata for the tierdb_build_info series.
+func buildInfo() obsrv.BuildInfo {
+	bi := obsrv.BuildInfo{Version: "(devel)", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	if info.GoVersion != "" {
+		bi.GoVersion = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			bi.Revision = s.Value
+		}
+	}
+	return bi
 }
 
 // ServeObservability serves the observability endpoints on the given

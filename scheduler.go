@@ -114,13 +114,17 @@ func (s *mergeScheduler) due(t *Table) bool {
 // that snapshot-decode cost proportional to the MRC share.
 func (s *mergeScheduler) merge(t *Table) {
 	if err := t.inner.Merge(); err != nil {
-		_ = errors.Is(err, table.ErrMergeInProgress) // retried next sweep
+		if !errors.Is(err, table.ErrMergeInProgress) {
+			s.db.log.Warn("scheduled merge failed", "table", t.Name(), "err", err)
+		}
 		return
 	}
 	if s.db.wal != nil {
 		// A failed checkpoint leaves the previous one intact; the log
 		// simply stays longer until the next scheduled merge retries.
-		_ = s.db.Checkpoint()
+		if err := s.db.Checkpoint(); err != nil {
+			s.db.log.Warn("post-merge checkpoint failed", "table", t.Name(), "err", err)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package tierdb
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -49,20 +50,20 @@ type dbEngine struct {
 	db *DB
 }
 
-func (e dbEngine) CreateTable(name string, fields []Field) error {
+func (e dbEngine) CreateTable(ctx context.Context, name string, fields []Field) error {
 	_, err := e.db.CreateTable(name, fields)
 	return err
 }
 
-func (e dbEngine) Insert(table string, row []value.Value) error {
+func (e dbEngine) Insert(ctx context.Context, table string, row []value.Value) error {
 	t, err := e.db.Table(table)
 	if err != nil {
 		return err
 	}
-	return t.Insert(row)
+	return t.InsertCtx(ctx, row)
 }
 
-func (e dbEngine) Delete(table string, id uint64) error {
+func (e dbEngine) Delete(ctx context.Context, table string, id uint64) error {
 	t, err := e.db.Table(table)
 	if err != nil {
 		return err
@@ -74,10 +75,10 @@ func (e dbEngine) Delete(table string, id uint64) error {
 		}
 		return err
 	}
-	return e.db.Commit(tx)
+	return e.db.CommitCtx(ctx, tx)
 }
 
-func (e dbEngine) Update(table string, id uint64, row []value.Value) error {
+func (e dbEngine) Update(ctx context.Context, table string, id uint64, row []value.Value) error {
 	t, err := e.db.Table(table)
 	if err != nil {
 		return err
@@ -89,18 +90,18 @@ func (e dbEngine) Update(table string, id uint64, row []value.Value) error {
 		}
 		return err
 	}
-	return e.db.Commit(tx)
+	return e.db.CommitCtx(ctx, tx)
 }
 
-func (e dbEngine) BulkLoad(table string, rows [][]value.Value) error {
+func (e dbEngine) BulkLoad(ctx context.Context, table string, rows [][]value.Value) error {
 	t, err := e.db.Table(table)
 	if err != nil {
 		return err
 	}
-	return t.BulkLoad(rows)
+	return t.BulkLoadCtx(ctx, rows)
 }
 
-func (e dbEngine) Select(table string, preds []server.Predicate, project []string, traced bool) (*server.Result, string, error) {
+func (e dbEngine) Select(ctx context.Context, table string, preds []server.Predicate, project []string, traced bool) (*server.Result, string, error) {
 	t, err := e.db.Table(table)
 	if err != nil {
 		return nil, "", err
@@ -120,23 +121,23 @@ func (e dbEngine) Select(table string, preds []server.Predicate, project []strin
 		ps = append(ps, pred)
 	}
 	var res *SelectResult
-	trace := ""
+	rendered := ""
 	if traced {
 		var tr *QueryTrace
-		res, tr, err = t.SelectTraced(nil, ps, project...)
+		res, tr, err = t.SelectTracedCtx(ctx, nil, ps, project...)
 		if err == nil {
-			trace = tr.String()
+			rendered = tr.String()
 		}
 	} else {
-		res, err = t.Select(nil, ps, project...)
+		res, err = t.SelectCtx(ctx, nil, ps, project...)
 	}
 	if err != nil {
 		return nil, "", err
 	}
-	return &server.Result{IDs: res.IDs, Rows: res.Rows}, trace, nil
+	return &server.Result{IDs: res.IDs, Rows: res.Rows}, rendered, nil
 }
 
-func (e dbEngine) Checkpoint() error { return e.db.Checkpoint() }
+func (e dbEngine) Checkpoint(ctx context.Context) error { return e.db.Checkpoint() }
 
 func (e dbEngine) StatsJSON() ([]byte, error) {
 	return json.Marshal(e.db.Stats())

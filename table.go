@@ -1,11 +1,13 @@
 package tierdb
 
 import (
+	"context"
 	"fmt"
 
 	"tierdb/internal/exec"
 	"tierdb/internal/mvcc"
 	"tierdb/internal/table"
+	"tierdb/internal/trace"
 	"tierdb/internal/value"
 	"tierdb/internal/workload"
 )
@@ -54,27 +56,51 @@ func (t *Table) Rows() int { return t.inner.VisibleCount() }
 // the main partition under the current layout. With a WAL configured
 // the whole batch is one atomic, durable commit record.
 func (t *Table) BulkLoad(rows [][]Value) error {
+	return t.BulkLoadCtx(context.Background(), rows)
+}
+
+// BulkLoadCtx is BulkLoad with a context; a request trace span carried
+// by ctx receives the WAL commit children plus a "merge.wait" span
+// covering the delta-to-main merge.
+func (t *Table) BulkLoadCtx(ctx context.Context, rows [][]Value) error {
 	if t.db.wal == nil || len(rows) == 0 {
 		if err := t.inner.BulkAppend(rows); err != nil {
 			return err
 		}
-		return t.inner.Merge()
+		return t.mergeCtx(ctx)
 	}
 	ops := make([]mvcc.RedoOp, len(rows))
 	for i, r := range rows {
 		ops[i] = mvcc.RedoOp{Table: t.Name(), Row: r}
 	}
-	_, err := t.db.mgr.BulkCommit(ops, func(ts mvcc.Timestamp) error {
+	_, err := t.db.mgr.BulkCommitCtx(ctx, ops, func(ts mvcc.Timestamp) error {
 		return t.inner.BulkAppendAt(rows, ts)
 	})
 	if err != nil {
 		return err
 	}
-	return t.inner.Merge()
+	return t.mergeCtx(ctx)
+}
+
+// mergeCtx merges the delta partition under a "merge.wait" child span
+// of the request trace (if any): the caller's wall-clock time spent
+// waiting for the merge to complete.
+func (t *Table) mergeCtx(ctx context.Context) error {
+	span := trace.FromContext(ctx).Child("merge.wait", trace.String("table", t.Name()))
+	err := t.inner.Merge()
+	span.SetError(err)
+	span.End()
+	return err
 }
 
 // Insert appends one row in its own transaction.
 func (t *Table) Insert(row []Value) error {
+	return t.InsertCtx(context.Background(), row)
+}
+
+// InsertCtx is Insert with a context; a request trace span carried by
+// ctx receives the WAL commit children.
+func (t *Table) InsertCtx(ctx context.Context, row []Value) error {
 	tx := t.db.Begin()
 	if err := t.InsertTx(tx, row); err != nil {
 		if aerr := t.db.Abort(tx); aerr != nil {
@@ -82,7 +108,7 @@ func (t *Table) Insert(row []Value) error {
 		}
 		return err
 	}
-	return t.db.Commit(tx)
+	return t.db.CommitCtx(ctx, tx)
 }
 
 // InsertTx appends one row within an existing transaction.
@@ -134,11 +160,27 @@ type SelectResult = exec.Result
 // filtered column set is recorded in the plan cache for the placement
 // optimizer.
 func (t *Table) Select(tx *Tx, predicates []Predicate, project ...string) (*SelectResult, error) {
+	return t.SelectCtx(context.Background(), tx, predicates, project...)
+}
+
+// SelectCtx is Select with a context; a request trace span carried by
+// ctx receives the executor's "exec.query" child span family.
+func (t *Table) SelectCtx(ctx context.Context, tx *Tx, predicates []Predicate, project ...string) (*SelectResult, error) {
+	q, err := t.prepQuery(predicates, project)
+	if err != nil {
+		return nil, err
+	}
+	return t.exec.RunCtx(ctx, q, tx)
+}
+
+// prepQuery resolves projection names, records the filtered column set
+// in the plan cache and workload history, and builds the exec query.
+func (t *Table) prepQuery(predicates []Predicate, project []string) (exec.Query, error) {
 	proj := make([]int, 0, len(project))
 	for _, name := range project {
 		c := t.inner.Schema().IndexOf(name)
 		if c < 0 {
-			return nil, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), name)
+			return exec.Query{}, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), name)
 		}
 		proj = append(proj, c)
 	}
@@ -150,7 +192,7 @@ func (t *Table) Select(tx *Tx, predicates []Predicate, project ...string) (*Sele
 		t.plans.Record(cols)
 		t.history.Record(cols)
 	}
-	return t.exec.Run(exec.Query{Predicates: predicates, Project: proj}, tx)
+	return exec.Query{Predicates: predicates, Project: proj}, nil
 }
 
 // SelectTraced is Select with per-query tracing: the returned trace
@@ -159,23 +201,16 @@ func (t *Table) Select(tx *Tx, predicates []Predicate, project ...string) (*Sele
 // qualified and the modeled cost split per device. Traced queries feed
 // the plan cache exactly like Select.
 func (t *Table) SelectTraced(tx *Tx, predicates []Predicate, project ...string) (*SelectResult, *QueryTrace, error) {
-	proj := make([]int, 0, len(project))
-	for _, name := range project {
-		c := t.inner.Schema().IndexOf(name)
-		if c < 0 {
-			return nil, nil, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), name)
-		}
-		proj = append(proj, c)
+	return t.SelectTracedCtx(context.Background(), tx, predicates, project...)
+}
+
+// SelectTracedCtx is SelectTraced with a context; see SelectCtx.
+func (t *Table) SelectTracedCtx(ctx context.Context, tx *Tx, predicates []Predicate, project ...string) (*SelectResult, *QueryTrace, error) {
+	q, err := t.prepQuery(predicates, project)
+	if err != nil {
+		return nil, nil, err
 	}
-	cols := make([]int, 0, len(predicates))
-	for _, p := range predicates {
-		cols = append(cols, p.Column)
-	}
-	if len(cols) > 0 {
-		t.plans.Record(cols)
-		t.history.Record(cols)
-	}
-	return t.exec.RunTraced(exec.Query{Predicates: predicates, Project: proj}, tx)
+	return t.exec.RunTracedCtx(ctx, q, tx)
 }
 
 // Get reconstructs a full tuple by row id.

@@ -25,11 +25,13 @@
 package tierdb
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
-	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tierdb/internal/amm"
@@ -41,6 +43,8 @@ import (
 	"tierdb/internal/server"
 	"tierdb/internal/storage"
 	"tierdb/internal/table"
+	"tierdb/internal/telemetry"
+	"tierdb/internal/trace"
 	"tierdb/internal/value"
 	"tierdb/internal/wal"
 )
@@ -200,6 +204,30 @@ type Config struct {
 	// AdaptiveCooldown is how many cycles a table sits out after a
 	// flip-back apply; 0 selects DefaultAdaptiveCooldown.
 	AdaptiveCooldown int
+	// Logger receives the engine's structured log records: listener
+	// failures, scheduler errors, adaptive placement decisions, and —
+	// with RequestLog — one event per network request. Nil builds a
+	// default logger from LogLevel/LogFormat writing to stderr.
+	Logger *slog.Logger
+	// LogLevel is the default logger's minimum level: "debug", "info",
+	// "warn" or "error" (empty = info). Ignored when Logger is set.
+	LogLevel string
+	// LogFormat selects the default logger's encoding: "text" (default)
+	// or "json". Ignored when Logger is set.
+	LogFormat string
+	// RequestLog, when true, emits one structured wide event per
+	// network request (trace ID, opcode, table, rows, queue wait,
+	// duration, status) through the logger at info level.
+	RequestLog bool
+	// TraceSampleRate is the fraction of locally rooted requests traced
+	// end to end into the span ring behind /trace/{id}, in [0,1]. 0
+	// (the default) records nothing locally; requests arriving with a
+	// wire trace header are always recorded — the sampling decision was
+	// made by the client. Unsampled requests cost nothing.
+	TraceSampleRate float64
+	// TraceSpanRingSize bounds the in-memory span ring; 0 selects
+	// trace.DefaultRingSize (4096 spans).
+	TraceSpanRingSize int
 
 	// walFS overrides the log's filesystem; tests inject the
 	// crash-injection FS here. Nil selects the real OS filesystem.
@@ -238,6 +266,13 @@ type DB struct {
 	obsAddr string
 	srv     *server.Server
 	srvAddr string
+
+	log    *slog.Logger
+	tracer *trace.Tracer
+	start  time.Time
+	// ready flips on once Open finished (recovery included) and off as
+	// Close begins; /readyz reports it.
+	ready atomic.Bool
 }
 
 // Open creates a database instance.
@@ -289,7 +324,19 @@ func Open(cfg Config) (*DB, error) {
 		parallel: cfg.Parallelism,
 		registry: registry,
 		tables:   make(map[string]*Table),
+		start:    time.Now(),
 	}
+	db.log = cfg.Logger
+	if db.log == nil {
+		db.log = telemetry.New(telemetry.Options{
+			Level:  cfg.LogLevel,
+			Format: cfg.LogFormat,
+		})
+	}
+	db.tracer = trace.New(trace.Options{
+		SampleRate: cfg.TraceSampleRate,
+		RingSize:   cfg.TraceSpanRingSize,
+	})
 	if !cfg.DisableCapture {
 		size := cfg.TraceRingSize
 		if size <= 0 {
@@ -313,6 +360,9 @@ func Open(cfg Config) (*DB, error) {
 		MaxInflight:  cfg.MaxInflight,
 		DrainTimeout: cfg.DrainTimeout,
 		Registry:     registry,
+		Tracer:       db.tracer,
+		Logger:       db.log,
+		RequestLog:   cfg.RequestLog,
 	})
 	if cfg.ListenAddr != "" {
 		ln, err := net.Listen("tcp", cfg.ListenAddr)
@@ -326,7 +376,7 @@ func Open(cfg Config) (*DB, error) {
 			// the accept loop died and the process is running without
 			// network service.
 			if err := db.srv.Serve(ln); err != nil {
-				fmt.Fprintln(os.Stderr, "tierdb: service listener failed:", err)
+				db.log.Error("service listener failed", "err", err)
 			}
 		}()
 	}
@@ -339,12 +389,27 @@ func Open(cfg Config) (*DB, error) {
 		db.obsAddr = ln.Addr().String()
 		go func() {
 			if err := db.ServeObservability(ln); err != nil {
-				fmt.Fprintln(os.Stderr, "tierdb: observability listener failed:", err)
+				db.log.Error("observability listener failed", "err", err)
 			}
 		}()
 	}
+	db.ready.Store(true)
 	return db, nil
 }
+
+// Ready reports whether the instance finished opening (WAL recovery
+// included) and is accepting work; it turns false again the moment
+// Close begins. Served as /readyz on the observability endpoints.
+func (db *DB) Ready() bool { return db.ready.Load() }
+
+// Tracer returns the instance's distributed tracer. In-process clients
+// pass it as the client package's Config.Tracer so their "client.send"
+// spans land in the same ring as the server-side spans and /trace/{id}
+// shows the whole request tree.
+func (db *DB) Tracer() *trace.Tracer { return db.tracer }
+
+// Logger returns the instance's structured logger.
+func (db *DB) Logger() *slog.Logger { return db.log }
 
 // Registry exposes the engine's metrics registry (nil when metrics are
 // disabled); advanced callers register their own instruments on it.
@@ -369,6 +434,14 @@ func (db *DB) Begin() *Tx { return db.mgr.Begin() }
 // Commit commits a transaction.
 func (db *DB) Commit(tx *Tx) error {
 	_, err := db.mgr.Commit(tx)
+	return err
+}
+
+// CommitCtx commits a transaction; a request trace span carried by ctx
+// (see tierdb/internal/trace) receives the WAL commit/append/fsync
+// child spans.
+func (db *DB) CommitCtx(ctx context.Context, tx *Tx) error {
+	_, err := db.mgr.CommitCtx(ctx, tx)
 	return err
 }
 
@@ -454,6 +527,7 @@ func (db *DB) Tables() []string {
 // store is released. Draining before the schedulers and WAL is what
 // guarantees no network request is mid-commit when the log closes.
 func (db *DB) Close() error {
+	db.ready.Store(false)
 	db.srv.Shutdown()
 	db.obsMu.Lock()
 	srvs := db.obsSrvs
