@@ -193,6 +193,28 @@ func run() error {
 	}
 	fmt.Println("/layout/advisor?beta=1e-10: reallocation-aware recommendation applied")
 
+	// EXPLAIN ANALYZE over HTTP: the plan must parse, carry operator
+	// nodes with modeled costs and attribute the placement.
+	body, err = fetch(base, "/explain?table=orders&q=region=7&project=amount&analyze=1")
+	if err != nil {
+		return err
+	}
+	var plan tierdb.ExplainPlan
+	if err := json.Unmarshal(body, &plan); err != nil {
+		return fmt.Errorf("/explain: %w", err)
+	}
+	if plan.Table != "orders" || plan.Mode != "analyze" {
+		return fmt.Errorf("/explain answered the wrong plan: %s", body)
+	}
+	if len(plan.Nodes) == 0 || len(plan.Placement.Columns) == 0 {
+		return fmt.Errorf("/explain plan has no nodes or placement attribution: %s", body)
+	}
+	if plan.Placement.CurrentCost <= 0 {
+		return fmt.Errorf("/explain modeled no cost: %s", body)
+	}
+	fmt.Printf("/explain: %d nodes, modeled %.4gs, regret %.4gs\n",
+		len(plan.Nodes), plan.Placement.CurrentCost, plan.Placement.Regret)
+
 	// The adaptive daemon ticks every 50ms; scrape its endpoint until at
 	// least one cycle has been accounted.
 	deadline := time.Now().Add(10 * time.Second)

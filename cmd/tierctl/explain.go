@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tierdb/internal/explain"
+	"tierdb/internal/server/client"
+)
+
+// runExplain implements `tierctl explain`: EXPLAIN/ANALYZE one query
+// against a running tierdbd and render the plan as a text tree or JSON.
+func runExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	addr := fs.String("addr", "", "tierdbd wire-protocol address (host:port)")
+	table := fs.String("table", "", "table to explain against")
+	query := fs.String("q", "", "predicates as col=val,col=lo..hi (comma separated)")
+	project := fs.String("project", "", "comma-separated projection columns (optional)")
+	analyze := fs.Bool("analyze", false, "execute the query and annotate the plan with observed costs")
+	asJSON := fs.Bool("json", false, "print the raw JSON plan instead of the text tree")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *addr == "" || *table == "" {
+		fail("explain needs -addr ADDR and -table NAME (see tierctl explain -h)")
+	}
+	specs, err := explain.ParseQuerySpec(*query)
+	if err != nil {
+		fail("%v", err)
+	}
+	var proj []string
+	if *project != "" {
+		proj = strings.Split(*project, ",")
+	}
+	c, err := client.Dial(client.Config{Addr: *addr})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer c.Close()
+	plan, err := c.Explain(*table, specs, proj, *analyze)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(plan); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+	fmt.Print(explain.RenderText(plan))
+}

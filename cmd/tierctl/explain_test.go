@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tierdb/internal/explain"
+)
+
+// explainFixture is a fully hand-constructed ANALYZE plan so the golden
+// test pins the renderer itself, with every field under test control
+// rather than live server output.
+func explainFixture() *explain.Plan {
+	return &explain.Plan{
+		Table:          "orders",
+		Mode:           explain.ModeAnalyze,
+		Device:         "nvme",
+		Parallelism:    4,
+		ProbeThreshold: 0.05,
+		TraceID:        "00000000deadbeef",
+		WallNs:         152_340,
+		RowsQualified:  37,
+		PageReads:      12,
+		DRAMNs:         41_000,
+		DeviceNs:       88_500,
+		Nodes: []explain.Node{
+			{
+				Operator: "scan", Partition: "main", Path: "sscg",
+				Column: 1, ColumnName: "region", Predicate: "region = 7",
+				Tier: "secondary", ModeledCost: 0.002, ModeledFraction: 1,
+				EstimatedSelectivity: 0.01, ObservedSelectivity: 0.012,
+				MisestimateRatio: 1.2, RowsIn: 10000, RowsOut: 120,
+				ObservedNs: 90_000, PageReads: 12,
+			},
+			{
+				Operator: "probe", Partition: "main", Path: "mrc",
+				Column: 2, ColumnName: "amount", Predicate: "amount between 100 and 200",
+				Tier: "dram", ModeledCost: 0.00004, ModeledFraction: 0.01,
+				EstimatedSelectivity: 0.25, ObservedSelectivity: 0.3083,
+				MisestimateRatio: 1.23, RowsIn: 120, RowsOut: 37,
+				ObservedNs: 30_000, Morsels: 4,
+				SwitchedToProbe: true, CandidateFraction: 0.012,
+			},
+			{
+				Operator: "visible", Partition: "main", Column: -1,
+				RowsIn: 37, RowsOut: 37, ObservedNs: 2_000,
+			},
+			{
+				Operator: "materialize", Column: -1, ColumnName: "amount",
+				Tier: "dram", RowsIn: 37, RowsOut: 37, ObservedNs: 9_000,
+			},
+		},
+		Placement: explain.Attribution{
+			CurrentCost:     0.00204,
+			RecommendedCost: 0.0000604,
+			Regret:          0.0019796,
+			Columns: []explain.ColumnAttribution{
+				{
+					Column: 1, Name: "region", SizeBytes: 2 << 20,
+					Selectivity: 0.01, SelectivitySource: "observed", ObservedSamples: 9,
+					TierNow: "secondary", TierRecommended: "dram",
+					ScanFraction: 1, ModeledCost: 0.002, RecommendedCost: 0.00002,
+					Regret: 0.00198,
+				},
+				{
+					Column: 2, Name: "amount", SizeBytes: 4 << 20,
+					Selectivity: 0.25, SelectivitySource: "estimated",
+					TierNow: "dram", TierRecommended: "dram",
+					ScanFraction: 0.01, ModeledCost: 0.00004, RecommendedCost: 0.0000404,
+					Regret: -0.0000004,
+				},
+			},
+		},
+	}
+}
+
+// TestExplainGolden renders the fixture plan and compares it byte for
+// byte against the golden file; run with -update to regenerate after an
+// intentional format change.
+func TestExplainGolden(t *testing.T) {
+	out := explain.RenderText(explainFixture())
+	golden := filepath.Join("testdata", "explain_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("explain rendering drifted from golden file (re-run with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}
+
+// TestExplainGoldenPlanOnly pins the EXPLAIN-only header path: no wall
+// summary line and no observed columns on the nodes.
+func TestExplainGoldenPlanOnly(t *testing.T) {
+	p := explainFixture()
+	p.Mode = explain.ModeExplain
+	out := explain.RenderText(p)
+	golden := filepath.Join("testdata", "explain_plan_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("explain rendering drifted from golden file (re-run with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}

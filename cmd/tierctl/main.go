@@ -23,6 +23,8 @@
 //	tierctl stats -snapshot BENCH_ci.json            # render saved engine metrics
 //	tierctl stats -demo                              # live demo workload + trace
 //	tierctl stats -addr localhost:7070 -watch 2s     # live stats from a running instance
+//	tierctl explain -addr localhost:7070 -table orders -q region=7,amount=100..200
+//	tierctl explain -addr localhost:7070 -table orders -q region=7 -analyze -json
 package main
 
 import (
@@ -107,6 +109,10 @@ func fail(format string, args ...any) {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "stats" {
 		runStats(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		runExplain(os.Args[2:])
 		return
 	}
 	var (

@@ -38,8 +38,13 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "log encoding: text or json")
 		requestLog   = flag.Bool("request-log", false, "emit one structured event per network request")
 		sampleRate   = flag.Float64("trace-sample-rate", 0, "fraction of requests traced end to end [0,1]")
+		version      = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(versionString(tierdb.Build()))
+		return
+	}
 	var policy tierdb.SyncPolicy
 	switch *sync {
 	case "always":
@@ -74,6 +79,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tierdbd:", err)
 		os.Exit(1)
 	}
+}
+
+// versionString renders -version output: the same version, revision and
+// Go version the tierdb_build_info metric series carries.
+func versionString(bi tierdb.BuildInfo) string {
+	s := "tierdbd " + bi.Version
+	if bi.Revision != "" {
+		s += " (" + bi.Revision + ")"
+	}
+	return s + " " + bi.GoVersion
 }
 
 func run(cfg tierdb.Config) error {

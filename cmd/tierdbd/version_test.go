@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tierdb"
+)
+
+// TestVersionString pins the -version rendering against the same build
+// metadata tierdb_build_info exports.
+func TestVersionString(t *testing.T) {
+	got := versionString(tierdb.BuildInfo{Version: "v1.2.3", Revision: "abc123", GoVersion: "go1.99"})
+	if got != "tierdbd v1.2.3 (abc123) go1.99" {
+		t.Errorf("versionString = %q", got)
+	}
+	got = versionString(tierdb.BuildInfo{Version: "(devel)", GoVersion: "go1.99"})
+	if got != "tierdbd (devel) go1.99" {
+		t.Errorf("versionString without revision = %q", got)
+	}
+}
+
+// TestVersionMatchesBuildInfo checks the live metadata feeding -version
+// is the series' data: non-empty version and Go version.
+func TestVersionMatchesBuildInfo(t *testing.T) {
+	bi := tierdb.Build()
+	if bi.Version == "" || bi.GoVersion == "" {
+		t.Fatalf("Build() = %+v, want non-empty version and goversion", bi)
+	}
+	out := versionString(bi)
+	if !strings.Contains(out, bi.Version) || !strings.Contains(out, bi.GoVersion) {
+		t.Errorf("versionString(%+v) = %q", bi, out)
+	}
+}

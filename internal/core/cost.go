@@ -44,18 +44,55 @@ func ScanCost(w *Workload, p CostParams, x []bool) float64 {
 	return total
 }
 
-// queryScanCost computes f_j(x) for a single query.
-func queryScanCost(w *Workload, p CostParams, x []bool, q Query) float64 {
-	var cost float64
+// CostShare is one predicate column's term of a query's modeled scan
+// cost f_j(x): unit(tier) * size * fraction, where fraction is the
+// product of the selectivities of the predicates the model orders
+// before this one.
+type CostShare struct {
+	// Column indexes into w.Columns.
+	Column int
+	// Fraction is the data-volume share the predicate touches: the
+	// product of earlier selectivities in the model's scan order.
+	Fraction float64
+	// InDRAM reports which tier's unit cost the term charged.
+	InDRAM bool
+	// Cost is the term's value in the unit of CostParams (seconds),
+	// before frequency weighting.
+	Cost float64
+}
+
+// QueryCostShares decomposes a single query's modeled scan cost f_j(x)
+// into per-column terms, following the model's own ascending-selectivity
+// scan order. queryScanCost sums exactly this decomposition, so the
+// shares always add up to the query's contribution to ScanCost (before
+// frequency weighting) — the two cannot diverge.
+func QueryCostShares(w *Workload, p CostParams, x []bool, q Query) []CostShare {
+	shares := make([]CostShare, 0, len(q.Columns))
 	share := 1.0 // product of selectivities of already-executed predicates
 	for _, k := range w.scanOrder(q) {
 		c := w.Columns[k]
 		unit := p.CSS
+		in := false
 		if x[k] {
 			unit = p.CMM
+			in = true
 		}
-		cost += unit * float64(c.Size) * share
+		shares = append(shares, CostShare{
+			Column:   k,
+			Fraction: share,
+			InDRAM:   in,
+			Cost:     unit * float64(c.Size) * share,
+		})
 		share *= c.Selectivity
+	}
+	return shares
+}
+
+// queryScanCost computes f_j(x) for a single query.
+func queryScanCost(w *Workload, p CostParams, x []bool, q Query) float64 {
+	var cost float64
+	for _, s := range QueryCostShares(w, p, x, q) {
+		cost += s.Cost
 	}
 	return cost
 }

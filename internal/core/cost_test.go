@@ -262,3 +262,74 @@ func TestAccessCounts(t *testing.T) {
 		}
 	}
 }
+
+func TestQueryCostSharesSumToScanCost(t *testing.T) {
+	// The decomposition must be exact, not approximate: queryScanCost
+	// delegates to QueryCostShares, so frequency-weighted share sums
+	// reproduce ScanCost bit-for-bit for any workload and placement.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		nCols := 1 + rng.Intn(8)
+		w := &Workload{}
+		for i := 0; i < nCols; i++ {
+			w.Columns = append(w.Columns, Column{
+				Size:        1 + rng.Int63n(1<<20),
+				Selectivity: rng.Float64(),
+			})
+		}
+		for q := 0; q < 1+rng.Intn(4); q++ {
+			var cols []int
+			for i := 0; i < nCols; i++ {
+				if rng.Intn(2) == 0 {
+					cols = append(cols, i)
+				}
+			}
+			if len(cols) == 0 {
+				cols = []int{rng.Intn(nCols)}
+			}
+			w.Queries = append(w.Queries, Query{Columns: cols, Frequency: 1 + rng.Float64()*10})
+		}
+		x := make([]bool, nCols)
+		for i := range x {
+			x[i] = rng.Intn(2) == 0
+		}
+		p := CostParams{CMM: 1.0 / float64(10<<30), CSS: 1.0 / float64(1<<30)}
+
+		var total float64
+		for _, q := range w.Queries {
+			var qcost float64
+			shares := QueryCostShares(w, p, x, q)
+			if len(shares) != len(q.Columns) {
+				t.Fatalf("trial %d: %d shares for %d predicate columns", trial, len(shares), len(q.Columns))
+			}
+			for _, s := range shares {
+				if s.InDRAM != x[s.Column] {
+					t.Fatalf("trial %d: share for column %d reports InDRAM=%v, placement says %v",
+						trial, s.Column, s.InDRAM, x[s.Column])
+				}
+				qcost += s.Cost
+			}
+			total += q.Frequency * qcost
+		}
+		if want := ScanCost(w, p, x); total != want {
+			t.Fatalf("trial %d: shares sum to %g, ScanCost = %g", trial, total, want)
+		}
+	}
+}
+
+func TestQueryCostSharesHandComputed(t *testing.T) {
+	w := twoColumnWorkload()
+	p := CostParams{CMM: 1, CSS: 10}
+	// Only a in DRAM; scan order a (sel 0.1) then b.
+	shares := QueryCostShares(w, p, []bool{true, false}, w.Queries[0])
+	if len(shares) != 2 {
+		t.Fatalf("got %d shares, want 2", len(shares))
+	}
+	a, b := shares[0], shares[1]
+	if a.Column != 0 || a.Fraction != 1 || !a.InDRAM || a.Cost != 100 {
+		t.Errorf("share a = %+v, want column 0, fraction 1, in DRAM, cost 100", a)
+	}
+	if b.Column != 1 || b.Fraction != 0.1 || b.InDRAM || math.Abs(b.Cost-200) > 1e-9 {
+		t.Errorf("share b = %+v, want column 1, fraction 0.1, evicted, cost 200", b)
+	}
+}

@@ -328,6 +328,60 @@ func emitSpans(span *trace.Span, tr *metrics.Trace, err error) {
 	span.End()
 }
 
+// Explain prepares q exactly as Run would — same predicate ordering,
+// access-path choices and selectivity estimates — without executing
+// anything. The returned trace carries the chosen filter order in
+// Predicates; Operators stay empty. Plan-only introspection must not
+// disturb the engine, so nothing is charged, captured or recorded.
+func (e *Executor) Explain(q Query) (*metrics.Trace, error) {
+	if err := e.checkQuery(q); err != nil {
+		return nil, err
+	}
+	tr := &metrics.Trace{
+		Table:          e.tbl.Name(),
+		Parallelism:    e.parallelism,
+		ProbeThreshold: e.threshold,
+	}
+	if timed, ok := e.tbl.Store().(*storage.TimedStore); ok {
+		tr.Device = timed.Profile().Name
+	}
+	v := e.tbl.Pin()
+	defer v.Release()
+	for _, p := range e.orderPredicates(v, q.Predicates) {
+		tr.Predicate(metrics.PredicateTrace{
+			Column:               p.Column,
+			Op:                   opName(p.Op),
+			Path:                 e.pathOf(v, p),
+			EstimatedSelectivity: e.estimateSelectivity(p),
+		})
+	}
+	return tr, nil
+}
+
+// opClock returns the device clock to diff for per-operator page-read
+// attribution, nil when tracing is off or the store is untimed. Like
+// the trace's query-level attribution, per-operator deltas assume no
+// concurrent query shares the clock.
+func (e *Executor) opClock(tr *metrics.Trace) *storage.Clock {
+	if tr == nil {
+		return nil
+	}
+	if timed, ok := e.tbl.Store().(*storage.TimedStore); ok {
+		return timed.Clock()
+	}
+	return nil
+}
+
+// stampPageReads attributes a step's device page reads to the single
+// operator the step appended (no-op when the step recorded none, or
+// more than one — attribution must never double-count).
+func stampPageReads(tr *metrics.Trace, mark int, reads int64) {
+	if tr == nil || reads <= 0 || len(tr.Operators) != mark+1 {
+		return
+	}
+	tr.Operators[mark].PageReads = reads
+}
+
 // capture publishes a finished query's trace into the recent ring and,
 // past the slow-query threshold, the slow ring. No-op without rings.
 func (e *Executor) capture(tr *metrics.Trace, start time.Time, wall time.Duration, err error, span *trace.Span) {
@@ -569,13 +623,21 @@ func (e *Executor) runMain(v *table.View, preds []Predicate, snapshot mvcc.Times
 	skip := func(row int) bool {
 		return !v.MainVersions().Visible(row, snapshot, self)
 	}
+	clk := e.opClock(tr)
 	var cand []uint32
 	first := true
 	for _, p := range preds {
+		mark, reads0 := 0, int64(0)
+		if clk != nil {
+			mark, reads0 = len(tr.Operators), clk.Reads()
+		}
 		var err error
 		cand, err = e.applyMain(v, p, cand, first, skip, tr)
 		if err != nil {
 			return nil, err
+		}
+		if clk != nil {
+			stampPageReads(tr, mark, clk.Reads()-reads0)
 		}
 		first = false
 		if len(cand) == 0 {
@@ -885,6 +947,11 @@ func (e *Executor) runDeltaPart(d *delta.Partition, bound int, offset uint32, pa
 // qualifying row. For main-partition rows with SSCG-placed projections,
 // one group page access delivers all grouped attributes of a row.
 func (e *Executor) materialize(v *table.View, res *Result, project []int, tr *metrics.Trace) error {
+	clk := e.opClock(tr)
+	var reads0 int64
+	if clk != nil {
+		reads0 = clk.Reads()
+	}
 	mainRows := uint64(v.MainRows())
 	group := v.Group()
 	needGroup := false
@@ -921,10 +988,16 @@ func (e *Executor) materialize(v *table.View, res *Result, project []int, tr *me
 		res.Rows[i] = row
 	}
 	e.m.rowsMaterialized.Add(int64(len(res.IDs)))
-	tr.Op(metrics.OperatorTrace{
+	op := metrics.OperatorTrace{
 		Name: "materialize", Partition: "main", Column: -1,
 		RowsIn: len(res.IDs), RowsOut: len(res.IDs),
-	})
+	}
+	if clk != nil {
+		if d := clk.Reads() - reads0; d > 0 {
+			op.PageReads = d
+		}
+	}
+	tr.Op(op)
 	return nil
 }
 

@@ -116,6 +116,19 @@ func morselsOf(ws []*worker) int64 {
 	return n
 }
 
+// readsOf sums the workers' private device-clock page-read counts.
+// Called only at phase barriers (after runMorsels returns), so the
+// loads race with nothing.
+func readsOf(ws []*worker) int64 {
+	var n int64
+	for _, w := range ws {
+		if w.clock != nil {
+			n += w.clock.Reads()
+		}
+	}
+	return n
+}
+
 // runMorsels fans nMorsels work units out to the workers. Each worker
 // pulls the next morsel index from a shared counter and runs fn on it.
 // The first error wins: it cancels the remaining morsels, every worker
@@ -204,10 +217,17 @@ func (e *Executor) runMainParallel(v *table.View, preds []Predicate, snapshot mv
 	var cand []uint32
 	first := true
 	for _, p := range preds {
+		mark, reads0 := 0, int64(0)
+		if tr != nil {
+			mark, reads0 = len(tr.Operators), readsOf(ws)
+		}
 		var err error
 		cand, err = e.applyMainParallel(v, p, cand, first, skip, ws, tr)
 		if err != nil {
 			return nil, err
+		}
+		if tr != nil {
+			stampPageReads(tr, mark, readsOf(ws)-reads0)
 		}
 		first = false
 		if len(cand) == 0 {
@@ -476,13 +496,18 @@ func (e *Executor) materializeParallel(v *table.View, res *Result, project []int
 	ws := e.newWorkers(v)
 	defer e.settle(ws, tr)
 	before := morselsOf(ws)
+	beforeReads := readsOf(ws)
 	defer func() {
-		e.m.rowsMaterialized.Add(int64(len(res.IDs)))
-		tr.Op(metrics.OperatorTrace{
+		op := metrics.OperatorTrace{
 			Name: "materialize", Column: -1,
 			RowsIn: len(res.IDs), RowsOut: len(res.IDs),
 			Morsels: int(morselsOf(ws) - before),
-		})
+		}
+		if d := readsOf(ws) - beforeReads; d > 0 {
+			op.PageReads = d
+		}
+		tr.Op(op)
+		e.m.rowsMaterialized.Add(int64(len(res.IDs)))
 	}()
 	mainRows := uint64(v.MainRows())
 	needGroup := false

@@ -1,0 +1,107 @@
+package explain
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// RenderText renders the plan as the human-readable tree `tierctl
+// explain` prints. The output is deterministic for a given plan, which
+// the golden test relies on.
+func RenderText(p *Plan) string {
+	var b strings.Builder
+	mode := "EXPLAIN"
+	if p.Mode == ModeAnalyze {
+		mode = "EXPLAIN ANALYZE"
+	}
+	fmt.Fprintf(&b, "%s · table %s", mode, p.Table)
+	if p.Device != "" {
+		fmt.Fprintf(&b, " · device %s", p.Device)
+	}
+	fmt.Fprintf(&b, " · parallelism %d · probe threshold %g\n", p.Parallelism, p.ProbeThreshold)
+	if p.Mode == ModeAnalyze {
+		fmt.Fprintf(&b, "wall %s · rows %d · page reads %d · modeled dram %s / device %s",
+			fmtNs(p.WallNs), p.RowsQualified, p.PageReads, fmtNs(p.DRAMNs), fmtNs(p.DeviceNs))
+		if p.TraceID != "" {
+			fmt.Fprintf(&b, " · trace %s", p.TraceID)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("plan\n")
+	for i, n := range p.Nodes {
+		conn := "├─"
+		if i == len(p.Nodes)-1 {
+			conn = "└─"
+		}
+		fmt.Fprintf(&b, "%s %s", conn, nodeLabel(n))
+		if n.Tier != "" {
+			fmt.Fprintf(&b, " · tier %s", n.Tier)
+		}
+		if n.ModeledCost != 0 || n.ModeledFraction != 0 {
+			fmt.Fprintf(&b, " · modeled %.4gs (fraction %.4g)", n.ModeledCost, n.ModeledFraction)
+		}
+		if n.EstimatedSelectivity != 0 {
+			fmt.Fprintf(&b, " · est sel %.4g", n.EstimatedSelectivity)
+		}
+		if p.Mode == ModeAnalyze && n.Column >= 0 && n.RowsIn > 0 {
+			fmt.Fprintf(&b, " · obs sel %.4g", n.ObservedSelectivity)
+			if n.MisestimateRatio != 0 {
+				fmt.Fprintf(&b, " (×%.2f)", n.MisestimateRatio)
+			}
+		}
+		if p.Mode == ModeAnalyze {
+			fmt.Fprintf(&b, " · rows %d→%d · %s", n.RowsIn, n.RowsOut, fmtNs(n.ObservedNs))
+			if n.PageReads > 0 {
+				fmt.Fprintf(&b, " · %d page reads", n.PageReads)
+			}
+			if n.Morsels > 0 {
+				fmt.Fprintf(&b, " · %d morsels", n.Morsels)
+			}
+		}
+		if n.SwitchedToProbe {
+			fmt.Fprintf(&b, " · switched to probe (fraction %.4g)", n.CandidateFraction)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("placement attribution (modeled, this query)\n")
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "  column\tsize\tsel\tsource\ttier\trecommended\tmodeled\twould cost\tregret")
+	for _, c := range p.Placement.Columns {
+		fmt.Fprintf(tw, "  %s\t%d\t%.4g\t%s\t%s\t%s\t%.4gs\t%.4gs\t%.4gs\n",
+			c.Name, c.SizeBytes, c.Selectivity, c.SelectivitySource,
+			c.TierNow, c.TierRecommended, c.ModeledCost, c.RecommendedCost, c.Regret)
+	}
+	tw.Flush()
+	fmt.Fprintf(&b, "total · current %.6gs · recommended %.6gs · regret %.6gs\n",
+		p.Placement.CurrentCost, p.Placement.RecommendedCost, p.Placement.Regret)
+	return b.String()
+}
+
+// nodeLabel renders the operator head: "main/scan[mrc] region = 7".
+func nodeLabel(n Node) string {
+	var b strings.Builder
+	if n.Partition != "" {
+		b.WriteString(n.Partition)
+		b.WriteByte('/')
+	}
+	b.WriteString(n.Operator)
+	if n.Path != "" {
+		fmt.Fprintf(&b, "[%s]", n.Path)
+	}
+	switch {
+	case n.Predicate != "":
+		b.WriteByte(' ')
+		b.WriteString(n.Predicate)
+	case n.ColumnName != "":
+		b.WriteByte(' ')
+		b.WriteString(n.ColumnName)
+	}
+	return b.String()
+}
+
+// fmtNs renders nanoseconds as a duration ("12.3µs").
+func fmtNs(ns int64) string {
+	return time.Duration(ns).String()
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// checkTraceEntries asserts the snapshot invariants that must survive
+// wrap-around under concurrent writers: at most Cap entries, newest
+// first, unique seqs, and no torn entries — every entry's marker fields
+// (UnixNano, WallNs, Err), all derived from one value at Add time, must
+// still agree when read back.
+func checkTraceEntries(t *testing.T, entries []*TraceEntry, capacity int) {
+	t.Helper()
+	if len(entries) > capacity {
+		t.Fatalf("snapshot has %d entries, cap %d", len(entries), capacity)
+	}
+	seen := make(map[uint64]bool, len(entries))
+	for i, e := range entries {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d in snapshot", e.Seq)
+		}
+		seen[e.Seq] = true
+		if i > 0 && entries[i-1].Seq <= e.Seq {
+			t.Fatalf("snapshot not newest-first: seq %d before %d", entries[i-1].Seq, e.Seq)
+		}
+		if e.WallNs != e.UnixNano || e.Err != fmt.Sprintf("m%d", e.UnixNano) {
+			t.Fatalf("torn entry: seq %d unix %d wall %d err %q", e.Seq, e.UnixNano, e.WallNs, e.Err)
+		}
+	}
+}
+
+// TestTraceRingWraparoundConcurrent hammers a small ring with many
+// writers so the publish sequence wraps many times, snapshotting
+// throughout, then pins the exact final window after a sequential tail.
+func TestTraceRingWraparoundConcurrent(t *testing.T) {
+	const (
+		capacity = 8
+		writers  = 8
+		perW     = 400
+	)
+	r := NewTraceRing(capacity)
+	add := func(marker int64) {
+		r.Add(&TraceEntry{UnixNano: marker, WallNs: marker, Err: fmt.Sprintf("m%d", marker)})
+	}
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				checkTraceEntries(t, r.Snapshot(), capacity)
+			}
+		}()
+	}
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perW; i++ {
+				add(int64(w*perW + i))
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(done)
+	readers.Wait()
+
+	if got := r.Added(); got != writers*perW {
+		t.Fatalf("Added = %d, want %d", got, writers*perW)
+	}
+	// A slow writer can be the last to store into a slot even though a
+	// later seq already landed there, so the concurrent phase only
+	// guarantees uniqueness and coherence. A sequential tail of Cap
+	// entries deterministically owns every slot: the snapshot must then
+	// be exactly the last Cap seqs, descending.
+	for i := 0; i < capacity; i++ {
+		add(int64(writers*perW + i))
+	}
+	final := r.Snapshot()
+	checkTraceEntries(t, final, capacity)
+	if len(final) != capacity {
+		t.Fatalf("final snapshot has %d entries, want %d", len(final), capacity)
+	}
+	added := r.Added()
+	for i, e := range final {
+		if want := added - 1 - uint64(i); e.Seq != want {
+			t.Fatalf("final[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}

@@ -95,6 +95,9 @@ type OperatorTrace struct {
 	// Morsels is the number of work units the operator fanned out
 	// (0 on the serial path).
 	Morsels int `json:"morsels,omitempty"`
+	// PageReads is the number of timed secondary-storage page reads the
+	// operator caused (0 for DRAM-only operators).
+	PageReads int64 `json:"page_reads,omitempty"`
 	// StartNs and EndNs bound the operator's wall-clock interval (unix
 	// nanos). Operators are recorded at phase barriers by the driving
 	// goroutine, so the interval opens at the previous operator's end

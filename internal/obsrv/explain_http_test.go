@@ -1,0 +1,94 @@
+package obsrv
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tierdb/internal/explain"
+	"tierdb/internal/trace"
+)
+
+func TestServeExplain(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/explain?table=orders&q=region=7,amount=100..200&project=amount&analyze=1")
+	if code != http.StatusOK {
+		t.Fatalf("/explain: status %d: %s", code, body)
+	}
+	var plan explain.Plan
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatalf("/explain: %v", err)
+	}
+	if plan.Table != "orders" || plan.Mode != explain.ModeAnalyze || len(plan.Nodes) != 2 {
+		t.Errorf("/explain plan = %+v", plan)
+	}
+
+	// Default is plan-only.
+	code, body = get(t, ts, "/explain?table=orders&q=region=7")
+	if code != http.StatusOK {
+		t.Fatalf("/explain plan-only: status %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != explain.ModeExplain {
+		t.Errorf("default mode = %s, want explain", plan.Mode)
+	}
+
+	code, body = get(t, ts, "/explain?table=orders&q=region=7&format=text")
+	if code != http.StatusOK || !strings.Contains(string(body), "EXPLAIN · table orders") {
+		t.Errorf("/explain?format=text: status %d body %q", code, body)
+	}
+}
+
+func TestServeExplainRejectsBadInput(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+	for _, path := range []string{
+		"/explain",                          // missing table
+		"/explain?table=orders&q=region",    // malformed predicate
+		"/explain?table=orders&q=a=1..",     // malformed range
+		"/explain?table=orders&analyze=yes", // bad analyze flag
+		"/explain?table=nope",               // engine error
+	} {
+		if code, body := get(t, ts, path); code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d (%s), want 400", path, code, body)
+		}
+	}
+	bare := httptest.NewServer((&Server{}).Handler())
+	defer bare.Close()
+	if code, _ := get(t, bare, "/explain?table=orders"); code != http.StatusNotFound {
+		t.Errorf("nil Explain closure: status %d, want 404", code)
+	}
+}
+
+// Non-positive and overflowing trace parameters are rejected with 400
+// instead of being silently clamped.
+func TestTraceParamValidation(t *testing.T) {
+	srv := testServer()
+	srv.Spans = trace.NewRing(16)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{
+		"/traces?n=0",
+		"/traces?n=-1",
+		"/traces?n=99999999999999999999", // overflows int
+		"/traces?n=bogus",
+		"/trace/0",                 // zero trace id
+		"/trace/zz",                // not hex
+		"/trace/fffffffffffffffff", // 17 hex digits overflows uint64
+		"/trace/",                  // empty id
+	} {
+		if code, body := get(t, ts, path); code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d (%s), want 400", path, code, body)
+		}
+	}
+	// Positive counts still work.
+	if code, _ := get(t, ts, "/traces?n=1"); code != http.StatusOK {
+		t.Errorf("GET /traces?n=1: status %d, want 200", code)
+	}
+}

@@ -13,12 +13,15 @@ package obsrv
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
+	"tierdb/internal/explain"
 	"tierdb/internal/metrics"
 	"tierdb/internal/trace"
 )
@@ -48,6 +51,9 @@ type Server struct {
 	// Spans is the distributed-trace span ring behind /trace/{id}; it
 	// also attaches span trees to /traces entries that carry a trace ID.
 	Spans *trace.Ring
+	// Explain runs EXPLAIN (analyze absent/0) or EXPLAIN ANALYZE
+	// (analyze=1) for one table (/explain).
+	Explain func(table string, specs []explain.PredicateSpec, project []string, analyze bool) (*explain.Plan, error)
 	// Ready reports readiness for /readyz: WAL recovery finished and
 	// the instance is accepting work. Nil answers 404 (not wired).
 	Ready func() bool
@@ -234,6 +240,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/workload", s.serveWorkload)
 	mux.HandleFunc("/layout/advisor", s.serveAdvisor)
 	mux.HandleFunc("/layout/adaptive", s.serveAdaptive)
+	mux.HandleFunc("/explain", s.serveExplain)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -258,6 +265,7 @@ func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
   /workload           captured workload: plans, access counts, selectivities
   /layout/advisor     layout recommendation (?table= ?budget= ?w= ?min_samples= ?beta=)
   /layout/adaptive    adaptive placement scheduler: last decisions + reasons
+  /explain            EXPLAIN/ANALYZE one query (?table= ?q=col=v,col=lo..hi ?project= ?analyze=1 ?format=text)
   /debug/pprof/       runtime profiles
 `)
 }
@@ -340,8 +348,10 @@ func (s *Server) serveTraces(w http.ResponseWriter, r *http.Request) {
 	raw := ring.Snapshot()
 	if v := r.URL.Query().Get("n"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			http.Error(w, "bad n", http.StatusBadRequest)
+		if err != nil || n <= 0 {
+			// Zero, negative and overflowing counts are caller bugs;
+			// refuse them instead of silently clamping to nothing.
+			http.Error(w, "bad n (want a positive count)", http.StatusBadRequest)
 			return
 		}
 		if n < len(raw) {
@@ -488,6 +498,51 @@ func (s *Server) serveAdaptive(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.Adaptive())
+}
+
+// serveExplain answers /explain?table=&q=col=v,col=lo..hi&project=a,b
+// with an explain.Plan: plan-only by default, executed-and-annotated
+// with analyze=1. format=text renders the tierctl tree instead of JSON.
+func (s *Server) serveExplain(w http.ResponseWriter, r *http.Request) {
+	if s.Explain == nil {
+		http.Error(w, "no explain source", http.StatusNotFound)
+		return
+	}
+	qs := r.URL.Query()
+	table := qs.Get("table")
+	if table == "" {
+		http.Error(w, "missing table", http.StatusBadRequest)
+		return
+	}
+	specs, err := explain.ParseQuerySpec(qs.Get("q"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var project []string
+	if v := qs.Get("project"); v != "" {
+		project = strings.Split(v, ",")
+	}
+	analyze := false
+	switch qs.Get("analyze") {
+	case "", "0":
+	case "1":
+		analyze = true
+	default:
+		http.Error(w, "bad analyze (want 0 or 1)", http.StatusBadRequest)
+		return
+	}
+	plan, err := s.Explain(table, specs, project, analyze)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if qs.Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, explain.RenderText(plan))
+		return
+	}
+	writeJSON(w, plan)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

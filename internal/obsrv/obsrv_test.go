@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"tierdb/internal/explain"
 	"tierdb/internal/metrics"
 )
 
@@ -65,6 +66,23 @@ func testServer() *Server {
 				Changed:     true,
 				Beta:        q.Beta,
 			}, nil
+		},
+		Explain: func(table string, specs []explain.PredicateSpec, project []string, analyze bool) (*explain.Plan, error) {
+			if table != "orders" {
+				return nil, fmt.Errorf("no such table %q", table)
+			}
+			mode := explain.ModeExplain
+			if analyze {
+				mode = explain.ModeAnalyze
+			}
+			nodes := make([]explain.Node, 0, len(specs))
+			for i, sp := range specs {
+				nodes = append(nodes, explain.Node{
+					Operator: "scan", Partition: "main", Column: i,
+					ColumnName: sp.Column, Tier: "dram",
+				})
+			}
+			return &explain.Plan{Table: table, Mode: mode, Parallelism: 1, Nodes: nodes}, nil
 		},
 		Adaptive: func() *AdaptiveReport {
 			return &AdaptiveReport{

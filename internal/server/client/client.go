@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tierdb/internal/explain"
 	"tierdb/internal/metrics"
 	"tierdb/internal/obsrv"
 	"tierdb/internal/schema"
@@ -523,6 +524,23 @@ func (c *Client) Advise(table string, q obsrv.AdvisorQuery) (*obsrv.AdvisorRepor
 		return nil, fmt.Errorf("client: parse advisor report: %w", err)
 	}
 	return &rep, nil
+}
+
+// Explain asks the server for an EXPLAIN (analyze=false) or EXPLAIN
+// ANALYZE (analyze=true) plan of the given query.
+func (c *Client) Explain(table string, specs []explain.PredicateSpec, project []string, analyze bool) (*explain.Plan, error) {
+	resp, err := c.do(server.Request{
+		Op: server.OpExplain, Table: table,
+		Specs: specs, Project: project, Analyze: analyze,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var plan explain.Plan
+	if err := json.Unmarshal(resp.Blob, &plan); err != nil {
+		return nil, fmt.Errorf("client: parse explain plan: %w", err)
+	}
+	return &plan, nil
 }
 
 // ApplyLayout applies a per-column DRAM residency layout.

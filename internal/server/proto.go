@@ -28,6 +28,7 @@ import (
 	"io"
 	"math"
 
+	"tierdb/internal/explain"
 	"tierdb/internal/schema"
 	"tierdb/internal/trace"
 	"tierdb/internal/value"
@@ -68,6 +69,11 @@ const (
 	// clients simply never send the envelope. Both directions are
 	// proven by the compat roundtrip tests.
 	OpTraced = 15
+
+	// OpExplain asks for an EXPLAIN (analyze=0) or EXPLAIN ANALYZE
+	// (analyze=1) plan: table, specs[], projection[], analyze ->
+	// JSON explain.Plan.
+	OpExplain = 16
 )
 
 // OpAdaptive subcommands.
@@ -130,16 +136,18 @@ type Result struct {
 type Request struct {
 	Op         byte
 	Table      string
-	Fields     []schema.Field  // OpCreateTable
-	Row        []value.Value   // OpInsert, OpUpdate
-	Rows       [][]value.Value // OpBulkLoad
-	RowID      uint64          // OpDelete, OpUpdate
-	Predicates []Predicate     // OpSelect
-	Project    []string        // OpSelect
-	Traced     bool            // OpSelect
-	Blob       []byte          // OpAdvise (JSON query)
-	Layout     []bool          // OpApplyLayout
-	Sub        byte            // OpAdaptive subcommand
+	Fields     []schema.Field          // OpCreateTable
+	Row        []value.Value           // OpInsert, OpUpdate
+	Rows       [][]value.Value         // OpBulkLoad
+	RowID      uint64                  // OpDelete, OpUpdate
+	Predicates []Predicate             // OpSelect
+	Project    []string                // OpSelect
+	Traced     bool                    // OpSelect
+	Blob       []byte                  // OpAdvise (JSON query)
+	Layout     []bool                  // OpApplyLayout
+	Sub        byte                    // OpAdaptive subcommand
+	Specs      []explain.PredicateSpec // OpExplain
+	Analyze    bool                    // OpExplain
 
 	// TraceID and SpanID are the optional trace header (the OpTraced
 	// envelope): the originating trace and the sender's span, which
@@ -268,6 +276,28 @@ func encodeRequest(buf []byte, req Request) []byte {
 		}
 	case OpAdaptive:
 		buf = append(buf, req.Sub)
+	case OpExplain:
+		buf = appendString(buf, req.Table)
+		buf = binary.AppendUvarint(buf, uint64(len(req.Specs)))
+		for _, sp := range req.Specs {
+			buf = appendString(buf, sp.Column)
+			op := byte(PredEq)
+			if sp.Op == "between" {
+				op = PredBetween
+			}
+			buf = append(buf, op)
+			buf = appendString(buf, sp.Value)
+			buf = appendString(buf, sp.Hi)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(req.Project)))
+		for _, name := range req.Project {
+			buf = appendString(buf, name)
+		}
+		a := byte(0)
+		if req.Analyze {
+			a = 1
+		}
+		buf = append(buf, a)
 	}
 	return buf
 }
@@ -290,7 +320,7 @@ func encodeResponse(buf []byte, op byte, resp Response) []byte {
 			buf = appendRow(buf, row)
 		}
 		buf = appendString(buf, resp.Trace)
-	case OpStats, OpAdvise, OpAdaptive:
+	case OpStats, OpAdvise, OpAdaptive, OpExplain:
 		buf = appendBytes(buf, resp.Blob)
 	case OpRows:
 		buf = binary.AppendUvarint(buf, resp.Count)
@@ -684,6 +714,60 @@ func decodeRequest(payload []byte) (Request, error) {
 		if req.Sub > AdaptiveDisable {
 			return Request{}, fmt.Errorf("%w: unknown adaptive subcommand %d", ErrProtocol, req.Sub)
 		}
+	case OpExplain:
+		if req.Table, err = r.string(); err != nil {
+			return Request{}, err
+		}
+		nSpec, err := r.count(4) // empty column + op + two empty operands
+		if err != nil {
+			return Request{}, err
+		}
+		req.Specs = make([]explain.PredicateSpec, 0, nSpec)
+		for i := 0; i < nSpec; i++ {
+			var sp explain.PredicateSpec
+			if sp.Column, err = r.string(); err != nil {
+				return Request{}, err
+			}
+			op, err := r.byte()
+			if err != nil {
+				return Request{}, err
+			}
+			switch op {
+			case PredEq:
+				sp.Op = "eq"
+			case PredBetween:
+				sp.Op = "between"
+			default:
+				return Request{}, fmt.Errorf("%w: unknown predicate op %d", ErrProtocol, op)
+			}
+			if sp.Value, err = r.string(); err != nil {
+				return Request{}, err
+			}
+			if sp.Hi, err = r.string(); err != nil {
+				return Request{}, err
+			}
+			req.Specs = append(req.Specs, sp)
+		}
+		nProj, err := r.count(1)
+		if err != nil {
+			return Request{}, err
+		}
+		req.Project = make([]string, 0, nProj)
+		for i := 0; i < nProj; i++ {
+			name, err := r.string()
+			if err != nil {
+				return Request{}, err
+			}
+			req.Project = append(req.Project, name)
+		}
+		a, err := r.byte()
+		if err != nil {
+			return Request{}, err
+		}
+		if a > 1 {
+			return Request{}, fmt.Errorf("%w: bad analyze flag %d", ErrProtocol, a)
+		}
+		req.Analyze = a == 1
 	default:
 		return Request{}, fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op)
 	}
@@ -740,7 +824,7 @@ func DecodeResponse(op byte, payload []byte) (Response, error) {
 		if resp.Trace, err = r.string(); err != nil {
 			return Response{}, err
 		}
-	case OpStats, OpAdvise, OpAdaptive:
+	case OpStats, OpAdvise, OpAdaptive, OpExplain:
 		if resp.Blob, err = r.lenBytes(); err != nil {
 			return Response{}, err
 		}

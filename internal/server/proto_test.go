@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 
+	"tierdb/internal/explain"
 	"tierdb/internal/schema"
 	"tierdb/internal/value"
 )
@@ -46,6 +47,13 @@ func sampleRequests() []Request {
 		{Op: OpAdaptive, Sub: AdaptiveStatus},
 		{Op: OpAdaptive, Sub: AdaptiveEnable},
 		{Op: OpAdaptive, Sub: AdaptiveDisable},
+		{Op: OpExplain, Table: "orders",
+			Specs: []explain.PredicateSpec{
+				{Column: "region", Op: "eq", Value: "7"},
+				{Column: "amount", Op: "between", Value: "100", Hi: "200"},
+			},
+			Project: []string{"amount"}, Analyze: true},
+		{Op: OpExplain, Table: "orders"},
 	}
 }
 
@@ -99,6 +107,9 @@ func normalizeReq(r Request) Request {
 	if len(r.Layout) == 0 {
 		r.Layout = nil
 	}
+	if len(r.Specs) == 0 {
+		r.Specs = nil
+	}
 	return r
 }
 
@@ -120,6 +131,8 @@ func TestResponseRoundtrip(t *testing.T) {
 		{OpStats, Response{Blob: []byte(`{"counters":{}}`)}},
 		{OpAdvise, Response{Blob: []byte(`{"table":"t"}`)}},
 		{OpAdaptive, Response{Blob: []byte(`{"enabled":true}`)}},
+		{OpExplain, Response{Blob: []byte(`{"table":"t","mode":"analyze"}`)}},
+		{OpExplain, Response{Status: StatusEngineErr, Msg: "no such table"}},
 		{OpRows, Response{Count: 123456}},
 		{OpTables, Response{Names: []string{"a", "b"}}},
 	}
@@ -224,6 +237,18 @@ func TestHostilePayloads(t *testing.T) {
 	}
 	if _, err := decodeRequest([]byte{250}); !errors.Is(err, ErrProtocol) {
 		t.Fatal("unknown opcode accepted")
+	}
+	// Explain-specific field validation: an unknown predicate-op byte
+	// and a non-boolean analyze flag are payload errors, not panics.
+	badOp := []byte{OpExplain, 1, 't', 1, 1, 'c', 9, 1, 'v', 0, 0, 0}
+	if _, err := decodeRequest(badOp); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("explain bad predicate op: err = %v, want ErrProtocol", err)
+	}
+	good := encodeRequest(nil, Request{Op: OpExplain, Table: "t",
+		Specs: []explain.PredicateSpec{{Column: "c", Op: "eq", Value: "1"}}})
+	badAnalyze := append(append([]byte(nil), good[:len(good)-1]...), 2)
+	if _, err := decodeRequest(badAnalyze); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("explain bad analyze flag: err = %v, want ErrProtocol", err)
 	}
 }
 

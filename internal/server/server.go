@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tierdb/internal/explain"
 	"tierdb/internal/metrics"
 	"tierdb/internal/schema"
 	"tierdb/internal/telemetry"
@@ -72,6 +73,10 @@ type Engine interface {
 	// (AdaptiveStatus/Enable/Disable); the report is JSON
 	// (obsrv.AdaptiveReport).
 	Adaptive(sub byte) ([]byte, error)
+	// Explain runs EXPLAIN (analyze=false) or EXPLAIN ANALYZE
+	// (analyze=true) for the query given in wire form; the report is
+	// JSON (explain.Plan).
+	Explain(ctx context.Context, table string, specs []explain.PredicateSpec, project []string, analyze bool) ([]byte, error)
 }
 
 // Config tunes the service layer. The zero value selects the defaults.
@@ -432,6 +437,8 @@ func OpName(op byte) string {
 		return "apply_layout"
 	case OpAdaptive:
 		return "adaptive"
+	case OpExplain:
+		return "explain"
 	default:
 		return fmt.Sprintf("op_%d", op)
 	}
@@ -520,6 +527,12 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 		}
 	case OpAdaptive:
 		blob, err := s.engine.Adaptive(req.Sub)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Blob: blob}
+	case OpExplain:
+		blob, err := s.engine.Explain(ctx, req.Table, req.Specs, req.Project, req.Analyze)
 		if err != nil {
 			return fail(err)
 		}

@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"tierdb/internal/explain"
 	"tierdb/internal/metrics"
 	"tierdb/internal/obsrv"
 	"tierdb/internal/schema"
@@ -141,6 +143,14 @@ func (e *fakeEngine) ApplyLayout(table string, inDRAM []bool) error { return nil
 
 func (e *fakeEngine) Adaptive(sub byte) ([]byte, error) {
 	return []byte(fmt.Sprintf(`{"enabled":%v}`, sub == server.AdaptiveEnable)), nil
+}
+
+func (e *fakeEngine) Explain(_ context.Context, table string, specs []explain.PredicateSpec, project []string, analyze bool) ([]byte, error) {
+	return json.Marshal(explain.Plan{
+		Table: table,
+		Mode:  map[bool]explain.Mode{false: explain.ModeExplain, true: explain.ModeAnalyze}[analyze],
+		Nodes: make([]explain.Node, len(specs)),
+	})
 }
 
 // boot starts a server over the fake engine on a random loopback port.

@@ -1,6 +1,7 @@
 package tierdb
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 
 	"tierdb/internal/core"
 	"tierdb/internal/obsrv"
+	"tierdb/internal/trace"
 	"tierdb/internal/workload"
 )
 
@@ -53,8 +55,28 @@ func (db *DB) Observability() *obsrv.Server {
 		Ready:    db.Ready,
 		Build:    buildInfo,
 		Uptime:   func() time.Duration { return time.Since(db.start) },
+		Explain: func(name string, specs []ExplainSpec, project []string, analyze bool) (*ExplainPlan, error) {
+			// A sampled span links the plan to /trace/{id}; unsampled
+			// runs get a nil span and the context flows through inert.
+			span := db.tracer.Start("explain.query", trace.String("table", name))
+			ctx := trace.NewContext(context.Background(), span)
+			plan, err := db.Explain(ctx, name, specs, project, analyze)
+			if span != nil {
+				span.SetError(err)
+				span.End()
+			}
+			return plan, err
+		},
 	}
 }
+
+// BuildInfo is the binary's build metadata, as exposed by the
+// tierdb_build_info metric series.
+type BuildInfo = obsrv.BuildInfo
+
+// Build reports the binary's build metadata — the same version,
+// revision and Go version the tierdb_build_info series exports.
+func Build() BuildInfo { return buildInfo() }
 
 // buildInfo reads build metadata for the tierdb_build_info series.
 func buildInfo() obsrv.BuildInfo {
@@ -184,7 +206,23 @@ func planInfos(plans []workload.Plan, name func(int) string) []obsrv.PlanInfo {
 // current layout becomes y and moving a byte between tiers costs Beta,
 // so marginal wins no longer justify churn. The recommendation applies
 // verbatim via ApplyLayout(Layout{InDRAM: rep.Recommended.InDRAM}).
-func (t *Table) Advise(q AdvisorQuery) (*AdvisorReport, error) {
+// adviseInputs is the advisor's solve, factored out so that both
+// Advise and EXPLAIN's placement-attribution section run exactly the
+// same path: same workload extraction, same observed-selectivity
+// overrides, same budget fallback, same explicit solve.
+type adviseInputs struct {
+	w          *core.Workload
+	sources    []string
+	samples    []int64
+	observed   int
+	minSamples int
+	costs      core.CostParams
+	current    []bool
+	budget     int64
+	alloc      core.Allocation
+}
+
+func (t *Table) adviseInputs(q AdvisorQuery) (*adviseInputs, error) {
 	w, err := workload.Extract(t.inner, t.plans, nil)
 	if err != nil {
 		return nil, err
@@ -222,6 +260,22 @@ func (t *Table) Advise(q AdvisorQuery) (*AdvisorReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	return &adviseInputs{
+		w: w, sources: sources, samples: samples, observed: observed,
+		minSamples: minSamples, costs: costs, current: current,
+		budget: budget, alloc: alloc,
+	}, nil
+}
+
+func (t *Table) Advise(q AdvisorQuery) (*AdvisorReport, error) {
+	in, err := t.adviseInputs(q)
+	if err != nil {
+		return nil, err
+	}
+	w, sources, samples := in.w, in.sources, in.samples
+	observed, costs, current := in.observed, in.costs, in.current
+	budget, alloc := in.budget, in.alloc
+	minSamples := in.minSamples
 	curCost := core.ScanCost(w, costs, current)
 	changed := false
 	for i := range current {

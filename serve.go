@@ -137,6 +137,14 @@ func (e dbEngine) Select(ctx context.Context, table string, preds []server.Predi
 	return &server.Result{IDs: res.IDs, Rows: res.Rows}, rendered, nil
 }
 
+func (e dbEngine) Explain(ctx context.Context, table string, specs []ExplainSpec, project []string, analyze bool) ([]byte, error) {
+	plan, err := e.db.Explain(ctx, table, specs, project, analyze)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(plan)
+}
+
 func (e dbEngine) Checkpoint(ctx context.Context) error { return e.db.Checkpoint() }
 
 func (e dbEngine) StatsJSON() ([]byte, error) {

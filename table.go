@@ -176,13 +176,9 @@ func (t *Table) SelectCtx(ctx context.Context, tx *Tx, predicates []Predicate, p
 // prepQuery resolves projection names, records the filtered column set
 // in the plan cache and workload history, and builds the exec query.
 func (t *Table) prepQuery(predicates []Predicate, project []string) (exec.Query, error) {
-	proj := make([]int, 0, len(project))
-	for _, name := range project {
-		c := t.inner.Schema().IndexOf(name)
-		if c < 0 {
-			return exec.Query{}, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), name)
-		}
-		proj = append(proj, c)
+	q, err := t.resolveQuery(predicates, project)
+	if err != nil {
+		return exec.Query{}, err
 	}
 	cols := make([]int, 0, len(predicates))
 	for _, p := range predicates {
@@ -191,6 +187,21 @@ func (t *Table) prepQuery(predicates []Predicate, project []string) (exec.Query,
 	if len(cols) > 0 {
 		t.plans.Record(cols)
 		t.history.Record(cols)
+	}
+	return q, nil
+}
+
+// resolveQuery resolves projection names without recording the query
+// into the plan cache — plan-only introspection (Table.Explain) must
+// not disturb the workload the advisor extracts.
+func (t *Table) resolveQuery(predicates []Predicate, project []string) (exec.Query, error) {
+	proj := make([]int, 0, len(project))
+	for _, name := range project {
+		c := t.inner.Schema().IndexOf(name)
+		if c < 0 {
+			return exec.Query{}, fmt.Errorf("tierdb: table %s has no column %q", t.inner.Name(), name)
+		}
+		proj = append(proj, c)
 	}
 	return exec.Query{Predicates: predicates, Project: proj}, nil
 }
